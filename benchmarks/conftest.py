@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the per-figure benchmarks.
+
+Every ``test_fig*.py`` module reproduces one table/figure of the paper's
+evaluation: it prints the same rows/series the paper plots, asserts the
+*shape* of the result (who wins, monotone trends, crossovers), and times
+a representative kernel through pytest-benchmark.
+
+Printed tables are also dumped under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist (and echo) one figure's textual output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def workdir(tmp_path_factory) -> Path:
+    return tmp_path_factory.mktemp("bench-storage")

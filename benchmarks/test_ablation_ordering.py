@@ -1,0 +1,83 @@
+"""Ablation — vertex storage order vs. 1-D codec effectiveness.
+
+The codecs decorrelate values that are adjacent in storage order, so a
+connectivity- or geometry-aware vertex ordering acts as another free
+pre-conditioner on top of the delta refactoring. This bench compares
+the generator's native order against BFS/RCM/Morton orderings on the
+same fields.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec
+from repro.harness import format_table
+from repro.mesh.ordering import inverse_permutation, vertex_ordering
+from repro.simulations import make_dataset
+
+ORDERINGS = ["identity", "bfs", "rcm", "spatial"]
+REL_TOL = 1e-4
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for name in ("xgc1", "genasis"):
+        ds = make_dataset(name, scale=0.3)
+        tol = REL_TOL * float(np.ptp(ds.field))
+        # A scrambled baseline shows the worst case: no locality at all.
+        rng = np.random.default_rng(0)
+        scramble = rng.permutation(ds.mesh.num_vertices)
+        for codec_name in ("zfp", "sz"):
+            codec = get_codec(codec_name, tolerance=tol)
+            sizes = {"scrambled": len(codec.encode(ds.field[scramble]))}
+            for method in ORDERINGS:
+                perm = vertex_ordering(ds.mesh, method)
+                sizes[method] = len(codec.encode(ds.field[perm]))
+            rows.append({"dataset": name, "codec": codec_name, **sizes})
+    return rows
+
+
+def test_ordering_table(comparison, record_result):
+    record_result(
+        "ablation_ordering",
+        format_table(
+            comparison,
+            title="Compressed bytes by vertex storage order",
+        ),
+    )
+
+
+def test_locality_beats_scrambled(comparison):
+    """Any coherent order beats a random shuffle decisively."""
+    for row in comparison:
+        for method in ORDERINGS:
+            assert row[method] < row["scrambled"]
+
+
+def test_reordering_recovers_lost_locality(comparison):
+    """The realistic use: data arriving in arbitrary order (e.g. after a
+    partitioned gather) gets its locality *recovered* by reordering.
+
+    The generators' native orders (ring-major annulus, sunflower spiral)
+    are already highly coherent, so connectivity orders mostly tie or
+    slightly lose against them — the win is against incoherent input:
+    the best coherent order cuts ≥ 10 % versus the scramble."""
+    for row in comparison:
+        best = min(row[m] for m in ORDERINGS)
+        assert best <= 0.9 * row["scrambled"]
+        # And no coherent ordering is catastrophically bad.
+        for method in ("rcm", "spatial", "bfs"):
+            assert row[method] < row["identity"] * 1.5
+
+
+def test_permutation_roundtrip(comparison):
+    ds = make_dataset("xgc1", scale=0.1)
+    perm = vertex_ordering(ds.mesh, "rcm")
+    inv = inverse_permutation(perm)
+    assert np.array_equal(ds.field[perm][inv], ds.field)
+
+
+def test_ordering_benchmark(benchmark):
+    ds = make_dataset("xgc1", scale=0.3)
+    benchmark(lambda: vertex_ordering(ds.mesh, "rcm"))

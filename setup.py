@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517` (or plain `pip install -e .` on older
+pips) uses the legacy `setup.py develop` path, which does not need to
+build a wheel. All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Analytics substrate: rasterization, blob detection, error metrics,
+and the timed end-to-end analysis pipeline of the paper's §IV."""
+
+from repro.analytics.blob import Blob, BlobDetectorParams, detect_blobs
+from repro.analytics.blob_metrics import BlobStats, blob_stats, overlap_ratio
+from repro.analytics.contour import ContourSet, contour_distance, extract_contour
+from repro.analytics.error_metrics import (
+    ErrorStats,
+    cross_level_errors,
+    field_errors,
+)
+from repro.analytics.profiles import RadialProfile, radial_profile
+from repro.analytics.pipeline import (
+    PipelineResult,
+    baseline_full_read,
+    restore_full_accuracy,
+    run_analysis_at_level,
+)
+from repro.analytics.raster import RasterSpec, rasterize
+
+__all__ = [
+    "Blob",
+    "BlobDetectorParams",
+    "detect_blobs",
+    "BlobStats",
+    "blob_stats",
+    "overlap_ratio",
+    "ContourSet",
+    "extract_contour",
+    "contour_distance",
+    "ErrorStats",
+    "field_errors",
+    "cross_level_errors",
+    "RasterSpec",
+    "rasterize",
+    "RadialProfile",
+    "radial_profile",
+    "PipelineResult",
+    "run_analysis_at_level",
+    "restore_full_accuracy",
+    "baseline_full_read",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: generate, encode, inspect, restore.
+
+A thin operational layer over the library, mirroring the utilities an
+ADIOS install ships (``bpls``-style inspection, plus Canopus encode /
+restore). All state lives under a ``--root`` directory holding the
+two-tier storage hierarchy.
+
+Examples
+--------
+::
+
+    python -m repro.cli generate xgc1 --scale 0.3 --out plane.npz
+    python -m repro.cli encode plane.npz --field dpot --dataset run \
+        --root /tmp/store --levels 3 --tolerance 1e-4
+    python -m repro.cli info run --root /tmp/store
+    python -m repro.cli restore run --var dpot --level 0 \
+        --root /tmp/store --out restored.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CanopusDecoder, CanopusEncoder, LevelScheme
+from repro.errors import ReproError
+from repro.harness.report import format_table
+from repro.io import BPDataset
+from repro.mesh.io import load_mesh, save_mesh
+from repro.simulations import dataset_names, make_dataset
+from repro.storage import two_tier_titan
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Canopus reproduction CLI (generate/encode/info/restore)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to .npz")
+    gen.add_argument("dataset", choices=dataset_names())
+    gen.add_argument("--scale", type=float, default=0.3)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--out", required=True)
+
+    enc = sub.add_parser("encode", help="Canopus-encode a mesh field")
+    enc.add_argument("mesh", help=".npz produced by generate/save_mesh")
+    enc.add_argument("--field", required=True, help="field name in the .npz")
+    enc.add_argument("--dataset", required=True, help="output dataset name")
+    enc.add_argument("--root", required=True, help="storage root directory")
+    enc.add_argument("--levels", type=int, default=3)
+    enc.add_argument("--codec", default="zfp")
+    enc.add_argument("--tolerance", type=float, default=1e-4)
+    enc.add_argument("--chunks", type=int, default=1)
+    enc.add_argument(
+        "--fast-capacity", type=int, default=64 << 20,
+        help="fast-tier capacity in bytes",
+    )
+
+    info = sub.add_parser("info", help="list a dataset's products (bpls-like)")
+    info.add_argument("dataset")
+    info.add_argument("--root", required=True)
+
+    fsck = sub.add_parser("fsck", help="verify a dataset's integrity")
+    fsck.add_argument("dataset")
+    fsck.add_argument("--root", required=True)
+
+    res = sub.add_parser("restore", help="restore a variable to a level")
+    res.add_argument("dataset")
+    res.add_argument("--var", required=True)
+    res.add_argument("--level", type=int, default=0)
+    res.add_argument("--root", required=True)
+    res.add_argument("--out", required=True, help="output .npz (mesh + field)")
+    return parser
+
+
+def _hierarchy(root: str, fast_capacity: int = 64 << 20):
+    return two_tier_titan(
+        Path(root), fast_capacity=fast_capacity, slow_capacity=1 << 40
+    )
+
+
+def _cmd_generate(args) -> int:
+    params = {"scale": args.scale}
+    if args.seed is not None:
+        params["seed"] = args.seed
+    ds = make_dataset(args.dataset, **params)
+    save_mesh(args.out, ds.mesh, {ds.variable: ds.field})
+    print(
+        f"wrote {args.out}: {ds.mesh.num_vertices} vertices, "
+        f"{ds.mesh.num_triangles} triangles, field {ds.variable!r}"
+    )
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    mesh, fields = load_mesh(args.mesh)
+    if args.field not in fields:
+        raise ReproError(
+            f"{args.mesh} has no field {args.field!r}; found {sorted(fields)}"
+        )
+    hierarchy = _hierarchy(args.root, args.fast_capacity)
+    params = {"tolerance": args.tolerance}
+    if args.codec == "zfp":
+        params["mode"] = "relative"
+    encoder = CanopusEncoder(
+        hierarchy, codec=args.codec, codec_params=params, chunks=args.chunks
+    )
+    report, _ = encoder.encode(
+        args.dataset, args.field, mesh, fields[args.field],
+        LevelScheme(args.levels),
+    )
+    rows = [
+        {
+            "key": key,
+            "bytes": report.compressed_bytes[key],
+            "tier": report.placed_tiers[key],
+        }
+        for key in sorted(report.compressed_bytes)
+    ]
+    print(format_table(rows, title=f"encoded {args.dataset!r}"))
+    print(
+        f"payloads {report.payload_bytes} B (original "
+        f"{report.original_bytes} B, {report.original_bytes / max(1, report.payload_bytes):.1f}x)"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    hierarchy = _hierarchy(args.root)
+    ds = BPDataset.open(args.dataset, hierarchy)
+    rows = [
+        {
+            "key": rec.key,
+            "kind": rec.kind,
+            "level": rec.level,
+            "bytes": rec.length,
+            "codec": rec.codec or "-",
+            "tier": rec.tier,
+        }
+        for rec in (ds.inq(k) for k in ds.keys())
+    ]
+    print(format_table(rows, title=f"dataset {args.dataset!r}"))
+    variables = ds.catalog.attrs.get("variables", {})
+    for var, meta in sorted(variables.items()):
+        print(
+            f"variable {var!r}: {meta['num_levels']} levels, "
+            f"codec {meta['codec']}, counts {meta['counts']}"
+        )
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.io.fsck import check_dataset
+
+    hierarchy = _hierarchy(args.root)
+    result = check_dataset(BPDataset.open(args.dataset, hierarchy))
+    print(result.report())
+    return 0 if result.healthy else 2
+
+
+def _cmd_restore(args) -> int:
+    hierarchy = _hierarchy(args.root)
+    decoder = CanopusDecoder(BPDataset.open(args.dataset, hierarchy))
+    state = decoder.restore_to(args.var, args.level)
+    field = state.plane(0) if state.field.ndim == 2 else state.field
+    save_mesh(args.out, state.mesh, {args.var: np.asarray(field)})
+    print(
+        f"restored {args.var!r} to level {args.level} "
+        f"({state.mesh.num_vertices} vertices) -> {args.out}; "
+        f"simulated I/O {state.timings.io_seconds * 1e3:.3f} ms"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "encode": _cmd_encode,
+    "info": _cmd_info,
+    "fsck": _cmd_fsck,
+    "restore": _cmd_restore,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

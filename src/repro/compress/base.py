@@ -1,0 +1,182 @@
+"""Compressor interface and registry.
+
+Canopus treats the floating-point compressor as a pluggable stage
+(paper §III-C3: "Canopus has integrated ZFP … We are in the process of
+integrating other compression libraries such as SZ and FPC"). Codecs here
+are self-describing: ``encode`` produces a payload whose header records the
+codec name, dtype, and length, so ``decode_auto`` can reverse any payload
+without out-of-band context — mirroring how ADIOS stores the transform id
+in variable metadata.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompressionError, UnknownCodecError
+
+__all__ = [
+    "Compressor",
+    "CompressionResult",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "decode_auto",
+    "compress_with_stats",
+]
+
+_MAGIC = b"RPC1"  # repro-compressor container, version 1
+
+
+class Compressor(ABC):
+    """Abstract floating-point codec.
+
+    Subclasses implement :meth:`_encode_payload` / :meth:`_decode_payload`
+    on raw float64 arrays; the base class wraps payloads in a
+    self-describing envelope.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: True when decode(encode(x)) == x exactly.
+    lossless: bool = False
+
+    # -- envelope -------------------------------------------------------
+    def encode(self, data: np.ndarray) -> bytes:
+        """Compress a 1-D float array into a self-describing payload."""
+        data = np.ascontiguousarray(data, dtype=np.float64).ravel()
+        if data.size and not np.isfinite(data).all():
+            raise CompressionError(
+                f"{self.name}: non-finite values are not supported"
+            )
+        payload = self._encode_payload(data)
+        name_b = self.name.encode("ascii")
+        header = _MAGIC + struct.pack(
+            "<BQ", len(name_b), data.size
+        ) + name_b
+        return header + payload
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Decompress a payload produced by this codec."""
+        name, count, payload = _split_envelope(blob)
+        if name != self.name:
+            raise CompressionError(
+                f"payload was encoded with {name!r}, not {self.name!r}"
+            )
+        out = self._decode_payload(payload, count)
+        if out.size != count:
+            raise CompressionError(
+                f"{self.name}: decoded {out.size} values, expected {count}"
+            )
+        return out
+
+    @abstractmethod
+    def _encode_payload(self, data: np.ndarray) -> bytes:
+        """Codec-specific body encoding (data is float64, 1-D, finite)."""
+
+    @abstractmethod
+    def _decode_payload(self, payload: bytes, count: int) -> np.ndarray:
+        """Codec-specific body decoding; must return ``count`` float64s."""
+
+    def max_error(self) -> float:
+        """Guaranteed absolute error bound (0 for lossless codecs)."""
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _split_envelope(blob: bytes) -> tuple[str, int, bytes]:
+    if len(blob) < 13 or blob[:4] != _MAGIC:
+        raise CompressionError("not a repro compressor payload")
+    name_len, count = struct.unpack_from("<BQ", blob, 4)
+    name = blob[13 : 13 + name_len].decode("ascii")
+    return name, count, blob[13 + name_len :]
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., Compressor]] = {}
+
+
+def register_codec(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a codec factory under ``name`` (idempotent overwrite)."""
+    _REGISTRY[name] = factory
+
+
+def get_codec(name: str, **params) -> Compressor:
+    """Instantiate a registered codec, e.g. ``get_codec("zfp", tolerance=1e-3)``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownCodecError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**params)
+
+
+def available_codecs() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def decode_auto(blob: bytes, **params) -> np.ndarray:
+    """Decode any payload by dispatching on its embedded codec name.
+
+    ``params`` are forwarded to the codec factory (lossy codecs ignore
+    the tolerance on decode, so defaults usually suffice).
+    """
+    name, _, _ = _split_envelope(blob)
+    codec = get_codec(name, **params)
+    return codec.decode(blob)
+
+
+# ---------------------------------------------------------------------------
+# measurement helper
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompressionResult:
+    """Round-trip measurement of one codec on one array."""
+
+    codec: str
+    original_bytes: int
+    compressed_bytes: int
+    max_abs_error: float
+    encode_seconds: float
+    decode_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed); >1 is a win."""
+        return self.original_bytes / max(1, self.compressed_bytes)
+
+    @property
+    def normalized_size(self) -> float:
+        """Compressed / original, the paper's Fig. 5 y-axis."""
+        return self.compressed_bytes / max(1, self.original_bytes)
+
+
+def compress_with_stats(codec: Compressor, data: np.ndarray) -> CompressionResult:
+    """Encode + decode once, returning sizes, error, and timings."""
+    import time
+
+    data = np.ascontiguousarray(data, dtype=np.float64).ravel()
+    t0 = time.perf_counter()
+    blob = codec.encode(data)
+    t1 = time.perf_counter()
+    out = codec.decode(blob)
+    t2 = time.perf_counter()
+    err = float(np.max(np.abs(out - data))) if data.size else 0.0
+    return CompressionResult(
+        codec=codec.name,
+        original_bytes=data.nbytes,
+        compressed_bytes=len(blob),
+        max_abs_error=err,
+        encode_seconds=t1 - t0,
+        decode_seconds=t2 - t1,
+    )

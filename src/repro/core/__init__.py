@@ -1,0 +1,67 @@
+"""Canopus core: progressive refactoring, placement, and restoration.
+
+This subpackage is the paper's primary contribution. The write path is
+:class:`~repro.core.encoder.CanopusEncoder` (refactor → compress →
+place); the read path is :class:`~repro.core.decoder.CanopusDecoder`
+and :class:`~repro.core.progressive.ProgressiveReader` (retrieve →
+decompress → restore, level by level).
+"""
+
+from repro.core.bytesplit import ByteSplitProduct, byte_restore, byte_split
+from repro.core.blocksplit import QualityLayer, block_restore, block_split
+from repro.core.campaign import CampaignReader, CampaignWriter, StepReport
+from repro.core.parallel import (
+    PartitionedDecoder,
+    PartitionedReport,
+    encode_partitioned,
+)
+from repro.core.decoder import CanopusDecoder, LevelData, PhaseTimings
+from repro.core.delta import apply_delta, compute_delta
+from repro.core.encoder import CanopusEncoder, EncodeReport
+from repro.core.mapping import LevelMapping, build_mapping
+from repro.core.notation import (
+    LevelScheme,
+    chunk_key,
+    delta_key,
+    level_key,
+    mapping_key,
+    mesh_key,
+)
+from repro.core.plan import PlacementPlan, plan_placement
+from repro.core.progressive import ProgressiveReader
+from repro.core.refactor import RefactorResult, refactor
+
+__all__ = [
+    "LevelScheme",
+    "level_key",
+    "delta_key",
+    "chunk_key",
+    "mapping_key",
+    "mesh_key",
+    "LevelMapping",
+    "build_mapping",
+    "compute_delta",
+    "apply_delta",
+    "refactor",
+    "RefactorResult",
+    "PlacementPlan",
+    "plan_placement",
+    "CanopusEncoder",
+    "EncodeReport",
+    "CanopusDecoder",
+    "LevelData",
+    "PhaseTimings",
+    "ProgressiveReader",
+    "ByteSplitProduct",
+    "byte_split",
+    "byte_restore",
+    "CampaignWriter",
+    "CampaignReader",
+    "StepReport",
+    "QualityLayer",
+    "block_split",
+    "block_restore",
+    "encode_partitioned",
+    "PartitionedDecoder",
+    "PartitionedReport",
+]

@@ -1,0 +1,296 @@
+"""Canopus read path: retrieve → decompress → restore (paper Fig. 1, right).
+
+Analytics choose an accuracy level; the decoder fetches the base from
+the fastest tier, then walks deltas down from slower tiers, restoring
+one level per step (paper Alg. 3). Per-phase costs are tracked
+separately — I/O (simulated, tier-model), decompression (wall), and
+restoration (wall) — because those are exactly the bars of Figs. 9–11.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compress import decode_auto
+from repro.core.delta import apply_delta
+from repro.core.mapping import LevelMapping
+from repro.core.notation import (
+    LevelScheme,
+    chunk_key,
+    delta_key,
+    level_key,
+    mapping_key,
+    mesh_key,
+)
+from repro.errors import RestorationError
+from repro.io.api import BPDataset
+from repro.mesh.io import mesh_from_bytes
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["PhaseTimings", "LevelData", "CanopusDecoder"]
+
+
+@dataclass
+class PhaseTimings:
+    """Accumulated per-phase costs of a retrieval chain."""
+
+    io_seconds: float = 0.0  # simulated (tier device models)
+    decompress_seconds: float = 0.0  # wall
+    restore_seconds: float = 0.0  # wall
+
+    @property
+    def total_seconds(self) -> float:
+        return self.io_seconds + self.decompress_seconds + self.restore_seconds
+
+    def __add__(self, other: "PhaseTimings") -> "PhaseTimings":
+        return PhaseTimings(
+            self.io_seconds + other.io_seconds,
+            self.decompress_seconds + other.decompress_seconds,
+            self.restore_seconds + other.restore_seconds,
+        )
+
+
+@dataclass
+class LevelData:
+    """A variable restored to one accuracy level."""
+
+    var: str
+    level: int
+    mesh: TriangleMesh
+    field: np.ndarray
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: True per vertex when its delta was applied (only < 1 everywhere for
+    #: focused/ROI refinement).
+    refined_mask: np.ndarray | None = None
+    #: RMS of the delta applied in the most recent refinement step — the
+    #: paper's suggested auto-termination statistic.
+    last_delta_rms: float = float("nan")
+
+    def plane(self, index: int = 0) -> np.ndarray:
+        """One poloidal plane of a stacked field (or the field itself)."""
+        return self.field[index] if self.field.ndim == 2 else self.field
+
+
+class CanopusDecoder:
+    """Configured Canopus read pipeline over an open dataset."""
+
+    def __init__(self, dataset: BPDataset) -> None:
+        self.dataset = dataset
+        self._clock = dataset.hierarchy.clock
+        self._mapping_cache: dict[str, LevelMapping] = {}
+        self._mesh_cache: dict[str, TriangleMesh] = {}
+
+    # ------------------------------------------------------------------
+    def variables(self) -> list[str]:
+        return sorted(self.dataset.catalog.attrs.get("variables", {}))
+
+    def scheme(self, var: str) -> LevelScheme:
+        meta = self._var_meta(var)
+        return LevelScheme(
+            num_levels=int(meta["num_levels"]),
+            step_ratio=float(meta["step_ratio"]),
+        )
+
+    def _var_meta(self, var: str) -> dict:
+        try:
+            return self.dataset.catalog.attrs["variables"][var]
+        except KeyError:
+            raise RestorationError(
+                f"variable {var!r} not in dataset "
+                f"{self.dataset.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _timed_read(self, key: str, timings: PhaseTimings) -> bytes:
+        before = self._clock.elapsed
+        blob = self.dataset.read(key)
+        timings.io_seconds += self._clock.elapsed - before
+        return blob
+
+    def _read_mesh(self, var: str, level: int, timings: PhaseTimings) -> TriangleMesh:
+        key = mesh_key(var, level)
+        cached = self._mesh_cache.get(key)
+        if cached is not None:
+            return cached
+        blob = self._timed_read(key, timings)
+        t0 = time.perf_counter()
+        mesh = mesh_from_bytes(blob)
+        timings.decompress_seconds += time.perf_counter() - t0
+        self._mesh_cache[key] = mesh
+        return mesh
+
+    def prefetch_geometry(self, var: str) -> PhaseTimings:
+        """Pre-load every level's mesh and mapping into the caches.
+
+        Geometry (mesh hierarchy + vertex→triangle mappings) is static
+        across timesteps for the paper's applications — XGC1 writes the
+        mesh once per campaign — so analytics read it once and amortize
+        the cost over every subsequent retrieval. The returned timings
+        are the one-time setup cost; after this call, retrieval timings
+        contain field/delta payload I/O only, matching what Figs. 9–11
+        measure.
+        """
+        scheme = self.scheme(var)
+        timings = PhaseTimings()
+        for lvl in scheme.levels():
+            if mesh_key(var, lvl) in self.dataset.catalog:
+                self._read_mesh(var, lvl, timings)
+        for lvl in scheme.delta_levels():
+            self._read_mapping(var, lvl, timings)
+        return timings
+
+    def _read_mapping(
+        self, var: str, level: int, timings: PhaseTimings
+    ) -> LevelMapping:
+        key = mapping_key(var, level)
+        cached = self._mapping_cache.get(key)
+        if cached is not None:
+            return cached
+        blob = self._timed_read(key, timings)
+        t0 = time.perf_counter()
+        mapping = LevelMapping.from_bytes(blob)
+        timings.decompress_seconds += time.perf_counter() - t0
+        self._mapping_cache[key] = mapping
+        return mapping
+
+    # ------------------------------------------------------------------
+    def _planes(self, var: str) -> int:
+        """Plane count (0 = un-stacked 1-D field)."""
+        return int(self._var_meta(var).get("planes", 0))
+
+    def _shape_field(self, var: str, flat: np.ndarray) -> np.ndarray:
+        planes = self._planes(var)
+        return flat.reshape(planes, -1) if planes else flat
+
+    def read_base(self, var: str) -> LevelData:
+        """Option (1) of §III-B: the quick look from the fastest tier."""
+        scheme = self.scheme(var)
+        base_level = scheme.base_level
+        timings = PhaseTimings()
+        blob = self._timed_read(level_key(var, base_level), timings)
+        t0 = time.perf_counter()
+        field_ = self._shape_field(var, decode_auto(blob))
+        timings.decompress_seconds += time.perf_counter() - t0
+        mesh = self._read_mesh(var, base_level, timings)
+        return LevelData(
+            var=var, level=base_level, mesh=mesh, field=field_, timings=timings
+        )
+
+    def _read_delta(
+        self,
+        var: str,
+        level: int,
+        n_fine: int,
+        timings: PhaseTimings,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read (possibly chunked) delta; returns (delta, applied_mask).
+
+        ``region=(lo_xy, hi_xy)`` skips every chunk whose bounding box
+        does not intersect the window (focused retrieval — only valid
+        when the variable was encoded with spatial chunks).
+        ``min_significance`` additionally skips chunks whose recorded
+        ``|max|`` statistic is below the threshold: the unread chunks can
+        change no value by more than that, so the refinement is lossy
+        but bounded.
+        """
+        meta = self._var_meta(var)
+        chunks = int(meta.get("chunks", 1))
+        planes = self._planes(var)
+        if chunks == 1:
+            blob = self._timed_read(delta_key(var, level), timings)
+            t0 = time.perf_counter()
+            delta = self._shape_field(var, decode_auto(blob))
+            timings.decompress_seconds += time.perf_counter() - t0
+            return delta, np.ones(delta.shape[-1], dtype=bool)
+
+        n_chunks = int(meta.get("chunks_per_level", {}).get(str(level), chunks))
+        shape = (planes, n_fine) if planes else (n_fine,)
+        delta = np.zeros(shape, dtype=np.float64)
+        applied = np.zeros(n_fine, dtype=bool)
+        for c in range(n_chunks):
+            rec = self.dataset.inq(chunk_key(var, level, c))
+            if region is not None:
+                lo, hi = region
+                x0, y0, x1, y1 = rec.attrs["bbox"]
+                if x1 < lo[0] or x0 > hi[0] or y1 < lo[1] or y0 > hi[1]:
+                    continue  # chunk entirely outside the ROI
+            if min_significance > 0.0:
+                stats = rec.attrs.get("stats")
+                if stats is not None and stats["vabs_max"] < min_significance:
+                    continue  # provably insignificant correction
+            idx_blob = self._timed_read(rec.key + "/idx", timings)
+            blob = self._timed_read(rec.key, timings)
+            t0 = time.perf_counter()
+            idx = np.frombuffer(zlib.decompress(idx_blob), dtype="<i8")
+            piece = decode_auto(blob)
+            if planes:
+                piece = piece.reshape(planes, len(idx))
+            delta[..., idx] = piece
+            timings.decompress_seconds += time.perf_counter() - t0
+            applied[idx] = True
+        return delta, applied
+
+    def refine(
+        self,
+        state: LevelData,
+        *,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> LevelData:
+        """Lift ``state`` one accuracy level (apply one delta).
+
+        ``region=(lo_xy, hi_xy)`` restricts delta reads to chunks that
+        contain vertices inside the bounding box — everything outside
+        keeps the estimate (focused retrieval). ``min_significance``
+        skips chunks whose recorded correction magnitude is below the
+        threshold (bounded lossy refinement). Both require the variable
+        to have been encoded with ``chunks > 1`` to give any I/O saving.
+        """
+        if state.level <= 0:
+            raise RestorationError("already at full accuracy (level 0)")
+        var = state.var
+        target = state.level - 1
+        timings = PhaseTimings()
+        mapping = self._read_mapping(var, target, timings)
+        fine_mesh = self._read_mesh(var, target, timings)
+
+        window = None
+        if region is not None:
+            lo, hi = (np.asarray(b, dtype=np.float64) for b in region)
+            window = (lo, hi)
+
+        delta, applied = self._read_delta(
+            var, target, mapping.n_fine, timings, window, min_significance
+        )
+        t0 = time.perf_counter()
+        field_ = apply_delta(state.field, delta, mapping)
+        timings.restore_seconds += time.perf_counter() - t0
+        rms = (
+            float(np.sqrt(np.mean(delta[..., applied] ** 2)))
+            if applied.any()
+            else 0.0
+        )
+        return LevelData(
+            var=var,
+            level=target,
+            mesh=fine_mesh,
+            field=field_,
+            timings=state.timings + timings,
+            refined_mask=applied,
+            last_delta_rms=rms,
+        )
+
+    def restore_to(self, var: str, target_level: int) -> LevelData:
+        """Restore from the base down to ``target_level`` (paper options 2/3)."""
+        scheme = self.scheme(var)
+        scheme.validate_level(target_level)
+        state = self.read_base(var)
+        while state.level > target_level:
+            state = self.refine(state)
+        return state

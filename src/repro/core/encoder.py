@@ -1,0 +1,336 @@
+"""Canopus write path: refactor → compress → place (paper Fig. 1, left).
+
+The encoder drives one variable through the full pipeline:
+
+1. :func:`~repro.core.refactor.refactor` produces the base, the deltas,
+   and the vertex→triangle mappings;
+2. the base and each delta are compressed with the configured
+   floating-point codec; mappings and mesh geometry are stored
+   losslessly (deflate);
+3. everything is written through an ADIOS-like
+   :class:`~repro.io.api.BPDataset` with preferred tiers from
+   :func:`~repro.core.plan.plan_placement` (base on the fastest tier,
+   deltas descending), subject to the capacity-bypass rule.
+
+Deltas may be split into spatial chunks (``chunks > 1``) so analytics
+can later fetch only the chunks overlapping a region of interest — the
+"focused data retrieval" the paper sketches in §III-E.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compress import get_codec
+from repro.core.notation import (
+    LevelScheme,
+    chunk_key,
+    delta_key,
+    level_key,
+    mapping_key,
+    mesh_key,
+)
+from repro.core.plan import plan_placement
+from repro.core.refactor import RefactorResult, refactor
+from repro.errors import CanopusError
+from repro.io.api import BPDataset
+from repro.io.transports import Transport
+from repro.mesh.io import mesh_to_bytes
+from repro.mesh.triangle_mesh import TriangleMesh
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = ["CanopusEncoder", "EncodeReport"]
+
+
+@dataclass
+class EncodeReport:
+    """Measurements from one encode (write-path) run.
+
+    ``decimation_seconds`` / ``delta_seconds`` / ``compress_seconds`` are
+    wall times; ``io_seconds`` is the simulated tier write time. Sizes
+    are per product key.
+    """
+
+    var: str
+    scheme: LevelScheme
+    original_bytes: int
+    compressed_bytes: dict[str, int] = field(default_factory=dict)
+    decimation_seconds: float = 0.0
+    delta_seconds: float = 0.0
+    compress_seconds: float = 0.0
+    io_seconds: float = 0.0
+    placed_tiers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_compressed_bytes(self) -> int:
+        return sum(self.compressed_bytes.values())
+
+    @property
+    def payload_bytes(self) -> int:
+        """Field/delta payload bytes only (no mesh/mapping metadata)."""
+        return sum(
+            n
+            for key, n in self.compressed_bytes.items()
+            if "/mesh" not in key and "/mapping" not in key
+        )
+
+
+def _spatial_chunks(vertices: np.ndarray, target: int) -> list[np.ndarray]:
+    """Bin vertices into ≈``target`` spatially compact groups.
+
+    A uniform grid over the bounding box; empty cells are dropped, so the
+    returned group count can be below ``target``. Every vertex appears in
+    exactly one group.
+    """
+    g = max(1, int(np.ceil(np.sqrt(target))))
+    lo = vertices.min(axis=0)
+    hi = vertices.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    cells = np.clip(
+        ((vertices - lo) / span * g).astype(np.int64), 0, g - 1
+    )
+    flat = cells[:, 0] * g + cells[:, 1]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
+    return [grp for grp in np.split(order, boundaries) if len(grp)]
+
+
+class CanopusEncoder:
+    """Configured Canopus write pipeline.
+
+    Parameters
+    ----------
+    hierarchy:
+        Target storage hierarchy.
+    codec / codec_params:
+        Floating-point compressor for base and delta payloads.
+    estimator:
+        ``Estimate()`` form (``"mean"`` or ``"barycentric"``).
+    priority:
+        Edge-collapse priority strategy.
+    chunks:
+        Number of spatial chunks per delta (1 = monolithic).
+    total_error_budget:
+        When set, guarantees ``|restored − original| <= budget`` at full
+        accuracy by splitting the budget evenly across the base and
+        every delta stage (errors add: one codec bound per applied
+        product). Overrides ``codec_params["tolerance"]``. Interpreted
+        as absolute, or as a fraction of the variable's range when
+        ``codec_params["mode"] == "relative"``.
+    transports:
+        Optional per-tier transports (defaults to POSIX).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        *,
+        codec: str = "zfp",
+        codec_params: dict | None = None,
+        estimator: str = "mean",
+        priority: str = "length",
+        chunks: int = 1,
+        total_error_budget: float | None = None,
+        transports: dict[str, Transport] | None = None,
+    ) -> None:
+        if chunks < 1:
+            raise CanopusError("chunks must be >= 1")
+        if total_error_budget is not None and total_error_budget <= 0:
+            raise CanopusError("total_error_budget must be positive")
+        self.hierarchy = hierarchy
+        self.codec_name = codec
+        self.codec_params = dict(codec_params or {})
+        self.estimator = estimator
+        self.priority = priority
+        self.chunks = chunks
+        self.total_error_budget = total_error_budget
+        self.transports = transports
+        # Fail fast on bad codec configuration.
+        get_codec(codec, **self.codec_params)
+
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        dataset_name: str,
+        var: str,
+        mesh: TriangleMesh,
+        data: np.ndarray,
+        scheme: LevelScheme,
+        *,
+        dataset: BPDataset | None = None,
+        close: bool = True,
+    ) -> tuple[EncodeReport, RefactorResult]:
+        """Run the full write path for one variable.
+
+        An existing open ``dataset`` may be supplied to co-locate several
+        variables in one BP dataset; set ``close=False`` to keep it open.
+        """
+        report = EncodeReport(
+            var=var,
+            scheme=scheme,
+            original_bytes=int(np.asarray(data).nbytes),
+        )
+        result = refactor(
+            mesh, data, scheme, estimator=self.estimator, priority=self.priority
+        )
+        report.decimation_seconds = result.decimation_seconds
+        report.delta_seconds = result.delta_seconds
+
+        ds = dataset or BPDataset.create(
+            dataset_name, self.hierarchy, self.transports
+        )
+        plan = plan_placement(scheme, len(self.hierarchy))
+        # A "relative" tolerance is resolved ONCE against the input
+        # variable's range, then applied as the same absolute bound to the
+        # base and every delta. Re-normalizing per product would tighten
+        # the bound on the low-amplitude deltas and throw away exactly the
+        # compressibility the delta refactoring creates (paper Fig. 5).
+        codec_params = dict(self.codec_params)
+        if self.total_error_budget is not None:
+            # One codec bound applies per product on the restore path
+            # (base + N−1 deltas); splitting the budget evenly makes the
+            # full-accuracy guarantee exact.
+            codec_params["tolerance"] = (
+                self.total_error_budget / scheme.num_levels
+            )
+        if codec_params.get("mode") == "relative":
+            value_range = float(np.ptp(data)) if np.asarray(data).size else 1.0
+            codec_params["tolerance"] = (
+                codec_params.get("tolerance", 1e-6) * max(value_range, 1e-300)
+            )
+            codec_params["mode"] = "absolute"
+        codec = get_codec(self.codec_name, **codec_params)
+
+        data_arr = np.asarray(data)
+        planes = data_arr.shape[0] if data_arr.ndim == 2 else 0
+        ds.catalog.attrs.setdefault("variables", {})[var] = {
+            "num_levels": scheme.num_levels,
+            "step_ratio": scheme.step_ratio,
+            "codec": self.codec_name,
+            "codec_params": self.codec_params,
+            "estimator": self.estimator,
+            "chunks": self.chunks,
+            "planes": planes,
+            "counts": [m.num_vertices for m in result.meshes],
+        }
+
+        # Base product: field + mesh on the fastest tier.
+        base_level = scheme.base_level
+        t0 = time.perf_counter()
+        base_blob = codec.encode(result.base_field.ravel())
+        report.compress_seconds += time.perf_counter() - t0
+        self._put(
+            ds, report, level_key(var, base_level), base_blob,
+            kind="base", level=base_level, count=result.base_field.size,
+            codec=self.codec_name, tier=plan.base_tier,
+            values=result.base_field,
+        )
+        self._put(
+            ds, report, mesh_key(var, base_level),
+            mesh_to_bytes(result.base_mesh),
+            kind="mesh", level=base_level, tier=plan.base_tier,
+        )
+
+        # Delta products: delta (possibly chunked) + mapping + level mesh.
+        for lvl in scheme.delta_levels():
+            tier = plan.preferred_tier_for_delta(lvl)
+            delta = result.deltas[lvl]
+            n_fine = delta.shape[-1]
+            if self.chunks == 1:
+                t0 = time.perf_counter()
+                blob = codec.encode(delta.ravel())
+                report.compress_seconds += time.perf_counter() - t0
+                self._put(
+                    ds, report, delta_key(var, lvl), blob,
+                    kind="delta", level=lvl, count=delta.size,
+                    codec=self.codec_name, tier=tier,
+                    values=delta,
+                )
+            else:
+                # Spatial chunking: bin fine vertices on a 2-D grid so a
+                # region-of-interest read touches only the chunks whose
+                # bounding box intersects it ("focused data retrieval",
+                # §III-E). Each chunk stores its vertex-index list (the
+                # scatter map) next to its delta values.
+                fine_mesh = result.meshes[lvl]
+                groups = _spatial_chunks(fine_mesh.vertices, self.chunks)
+                for c, idx in enumerate(groups):
+                    piece = delta[..., idx]
+                    pts = fine_mesh.vertices[idx]
+                    t0 = time.perf_counter()
+                    blob = codec.encode(piece.ravel())
+                    report.compress_seconds += time.perf_counter() - t0
+                    bbox = [
+                        float(pts[:, 0].min()), float(pts[:, 1].min()),
+                        float(pts[:, 0].max()), float(pts[:, 1].max()),
+                    ]
+                    self._put(
+                        ds, report, chunk_key(var, lvl, c), blob,
+                        kind="delta", level=lvl, count=piece.size,
+                        codec=self.codec_name, tier=tier,
+                        attrs={"chunk": c, "bbox": bbox, "n_vertices": len(idx)},
+                        values=piece,
+                    )
+                    self._put(
+                        ds, report, chunk_key(var, lvl, c) + "/idx",
+                        zlib.compress(idx.astype("<i8").tobytes(), 6),
+                        kind="mapping", level=lvl, tier=tier,
+                        attrs={"chunk": c},
+                    )
+                # Record how many chunks were actually written (empty
+                # spatial bins are dropped).
+                meta = ds.catalog.attrs["variables"][var]
+                meta.setdefault("chunks_per_level", {})[str(lvl)] = len(groups)
+            self._put(
+                ds, report, mapping_key(var, lvl),
+                result.mappings[lvl].to_bytes(),
+                kind="mapping", level=lvl, tier=tier,
+            )
+            self._put(
+                ds, report, mesh_key(var, lvl),
+                mesh_to_bytes(result.meshes[lvl]),
+                kind="mesh", level=lvl, tier=tier,
+            )
+
+        if close:
+            clock = self.hierarchy.clock
+            before = clock.elapsed
+            ds.close()
+            report.io_seconds = clock.elapsed - before
+            for key in list(report.placed_tiers):
+                report.placed_tiers[key] = ds.catalog.get(key).tier
+        return report, result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _put(
+        ds: BPDataset,
+        report: EncodeReport,
+        key: str,
+        payload: bytes,
+        *,
+        kind: str,
+        level: int,
+        tier: int,
+        count: int = 0,
+        codec: str = "",
+        attrs: dict | None = None,
+        values: np.ndarray | None = None,
+    ) -> None:
+        rec = ds.write(
+            key, payload, kind=kind, level=level, count=count,
+            codec=codec, preferred_tier=tier, attrs=attrs,
+        )
+        if values is not None:
+            # Catalog-resident value statistics enable query-driven chunk
+            # pruning (repro.io.query) with zero data I/O.
+            from repro.io.query import attach_stats
+
+            attach_stats(rec, values)
+        report.compressed_bytes[key] = len(payload)
+        report.placed_tiers[key] = rec.tier

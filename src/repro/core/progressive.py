@@ -1,0 +1,95 @@
+"""User-facing progressive data exploration (paper §III-E, Fig. 1 right).
+
+``ProgressiveReader`` wraps the decoder in the interaction loop the
+paper describes: start from the base, refine level by level, stop either
+interactively or automatically "if the criteria to terminate (e.g., root
+mean square error between two adjacent levels) is known a priori".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.decoder import CanopusDecoder, LevelData
+from repro.errors import RestorationError
+
+__all__ = ["ProgressiveReader"]
+
+
+class ProgressiveReader:
+    """Iterative refinement handle for one variable."""
+
+    def __init__(self, decoder: CanopusDecoder, var: str) -> None:
+        self.decoder = decoder
+        self.var = var
+        self.scheme = decoder.scheme(var)
+        self._state: LevelData | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> LevelData:
+        """Current restored level (reads the base on first access)."""
+        if self._state is None:
+            self._state = self.decoder.read_base(self.var)
+        return self._state
+
+    @property
+    def level(self) -> int:
+        return self.state.level
+
+    @property
+    def at_full_accuracy(self) -> bool:
+        return self.state.level == 0
+
+    def reset(self) -> None:
+        self._state = None
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, *, region: tuple[np.ndarray, np.ndarray] | None = None
+    ) -> LevelData:
+        """Fetch the next delta and lift one level."""
+        if self.at_full_accuracy:
+            raise RestorationError("already at full accuracy")
+        self._state = self.decoder.refine(self.state, region=region)
+        return self._state
+
+    def refine_until(
+        self,
+        *,
+        rms_tolerance: float | None = None,
+        stop: Callable[[LevelData], bool] | None = None,
+        max_level: int = 0,
+    ) -> LevelData:
+        """Refine until a termination criterion fires.
+
+        Parameters
+        ----------
+        rms_tolerance:
+            Stop when the RMS of the applied delta drops below this —
+            the next correction would move the field less than the
+            tolerance, so further accuracy is unlikely to change
+            conclusions.
+        stop:
+            Arbitrary predicate on the refined state (e.g. "blob count
+            stopped changing"). Checked after every refinement.
+        max_level:
+            Do not refine below this level (0 = full accuracy).
+        """
+        if rms_tolerance is None and stop is None:
+            raise RestorationError("need rms_tolerance and/or stop predicate")
+        while self.state.level > max_level:
+            state = self.refine()
+            if rms_tolerance is not None and state.last_delta_rms <= rms_tolerance:
+                break
+            if stop is not None and stop(state):
+                break
+        return self.state
+
+    def levels(self) -> Iterator[LevelData]:
+        """Iterate from the current level down to full accuracy."""
+        yield self.state
+        while not self.at_full_accuracy:
+            yield self.refine()

@@ -1,0 +1,151 @@
+"""Multi-level refactoring driver (decimation + delta chain).
+
+One refactoring pass produces, from ``(G^0, L^0)``:
+
+* the level meshes ``G^1 .. G^{N−1}`` and fields ``L^1 .. L^{N−1}``
+  (paper Alg. 1, one :func:`~repro.mesh.edge_collapse.decimate` call per
+  step);
+* the mappings ``mapping^l`` (fine vertex → coarse triangle, §III-E2);
+* the deltas ``delta^{l-(l+1)}`` (paper Alg. 2).
+
+Only ``L^{N−1}`` (the base) and the deltas are persisted — the
+intermediate levels exist transiently, which is the whole point of
+Motivation 2 (Canopus vs. naive multi-level compression). Per-phase wall
+times are recorded for the write-cost study (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.delta import compute_delta
+from repro.core.mapping import LevelMapping, build_mapping
+from repro.core.notation import LevelScheme
+from repro.errors import RefactoringError
+from repro.mesh.edge_collapse import decimate
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["RefactorResult", "refactor"]
+
+
+@dataclass
+class RefactorResult:
+    """All products of one refactoring pass.
+
+    Attributes
+    ----------
+    scheme:
+        The level progression used.
+    meshes:
+        ``meshes[l]`` is ``G^l``; index 0 is the input mesh.
+    levels:
+        ``levels[l]`` is ``L^l``; only ``levels[-1]`` (the base) is
+        persisted by the encoder.
+    deltas:
+        ``deltas[l] = delta^{l-(l+1)}`` for ``0 <= l < N−1``.
+    mappings:
+        ``mappings[l]`` lifts level ``l+1`` to ``l``.
+    decimation_seconds / delta_seconds:
+        Wall time spent in each phase (Fig. 6b inputs).
+    """
+
+    scheme: LevelScheme
+    meshes: list[TriangleMesh]
+    levels: list[np.ndarray]
+    deltas: list[np.ndarray]
+    mappings: list[LevelMapping]
+    decimation_seconds: float = 0.0
+    delta_seconds: float = 0.0
+    achieved_ratios: list[float] = field(default_factory=list)
+
+    @property
+    def base_field(self) -> np.ndarray:
+        return self.levels[-1]
+
+    @property
+    def base_mesh(self) -> TriangleMesh:
+        return self.meshes[-1]
+
+
+def refactor(
+    mesh: TriangleMesh,
+    data: np.ndarray,
+    scheme: LevelScheme,
+    *,
+    estimator: str = "mean",
+    priority: str = "length",
+) -> RefactorResult:
+    """Refactor ``(mesh, data)`` into a base + delta chain.
+
+    Parameters
+    ----------
+    scheme:
+        Number of levels and the per-step decimation ratio.
+    estimator:
+        ``Estimate()`` form for the deltas: ``"mean"`` (paper) or
+        ``"barycentric"`` (ablation).
+    priority:
+        Edge-collapse priority strategy (see
+        :func:`repro.mesh.edge_collapse.make_priority`).
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    if data.ndim not in (1, 2) or data.shape[-1] != mesh.num_vertices:
+        raise RefactoringError(
+            f"data of shape {data.shape} does not match "
+            f"{mesh.num_vertices} vertices (expect (n,) or (planes, n))"
+        )
+    planes = data.shape[0] if data.ndim == 2 else 0  # 0 = un-stacked
+
+    def _to_fields(level_data: np.ndarray) -> dict[str, np.ndarray]:
+        if planes:
+            return {str(p): level_data[p] for p in range(planes)}
+        return {"data": level_data}
+
+    def _from_fields(fields: dict[str, np.ndarray]) -> np.ndarray:
+        if planes:
+            return np.stack([fields[str(p)] for p in range(planes)])
+        return fields["data"]
+
+    meshes: list[TriangleMesh] = [mesh]
+    levels: list[np.ndarray] = [data]
+    ratios: list[float] = [1.0]
+    t_decimate = 0.0
+    for _ in range(scheme.num_levels - 1):
+        t0 = time.perf_counter()
+        result = decimate(
+            meshes[-1],
+            _to_fields(levels[-1]),
+            ratio=scheme.step_ratio,
+            priority=priority,
+        )
+        t_decimate += time.perf_counter() - t0
+        meshes.append(result.mesh)
+        levels.append(_from_fields(result.fields))
+        ratios.append(mesh.num_vertices / result.mesh.num_vertices)
+
+    deltas: list[np.ndarray] = []
+    mappings: list[LevelMapping] = []
+    t_delta = 0.0
+    for lvl in scheme.delta_levels():
+        t0 = time.perf_counter()
+        mapping = build_mapping(
+            meshes[lvl], meshes[lvl + 1], estimator=estimator
+        )
+        delta = compute_delta(levels[lvl], levels[lvl + 1], mapping)
+        t_delta += time.perf_counter() - t0
+        deltas.append(delta)
+        mappings.append(mapping)
+
+    return RefactorResult(
+        scheme=scheme,
+        meshes=meshes,
+        levels=levels,
+        deltas=deltas,
+        mappings=mappings,
+        decimation_seconds=t_decimate,
+        delta_seconds=t_delta,
+        achieved_ratios=ratios,
+    )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Canopus reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller embedding the library can catch a single base class. Subsystem
+errors mirror the package layout: mesh, compression, I/O container,
+storage hierarchy, and the Canopus encode/decode core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh topology or geometry."""
+
+
+class DecimationError(MeshError):
+    """Edge-collapse decimation could not reach the requested ratio."""
+
+
+class PointLocationError(MeshError):
+    """A query point could not be located in any triangle."""
+
+
+class CompressionError(ReproError):
+    """A compressor failed to encode or decode a payload."""
+
+
+class UnknownCodecError(CompressionError):
+    """Codec name not present in the compressor registry."""
+
+
+class BitstreamError(CompressionError):
+    """Bit-level stream underflow/overflow or corrupt header."""
+
+
+class BPFormatError(ReproError):
+    """Corrupt or unsupported BP container content."""
+
+
+class VariableNotFoundError(BPFormatError):
+    """Requested variable (or level) absent from the container index."""
+
+
+class TransportError(ReproError):
+    """An I/O transport failed or was misconfigured."""
+
+
+class ConfigError(ReproError):
+    """Invalid XML/ dict configuration."""
+
+
+class StorageError(ReproError):
+    """Storage-hierarchy misuse (capacity, unknown tier, eviction)."""
+
+
+class CapacityError(StorageError):
+    """No tier had sufficient capacity for a placement."""
+
+
+class CanopusError(ReproError):
+    """Canopus encode/decode pipeline failure."""
+
+
+class RefactoringError(CanopusError):
+    """Data refactoring (decimation/delta) failure."""
+
+
+class RestorationError(CanopusError):
+    """Progressive restoration failure (missing delta, level mismatch)."""
+
+
+class AnalyticsError(ReproError):
+    """Analytics-side failure (rasterization, blob detection)."""

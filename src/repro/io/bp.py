@@ -1,0 +1,110 @@
+"""Binary-packed (BP-like) subfile container.
+
+One subfile per (dataset, tier): a sequence of raw payload blocks
+followed by a JSON footer index and a fixed-size trailer, so a reader
+can either (a) use the global catalog to fetch an exact byte range, or
+(b) open the subfile standalone and reconstruct its local index from
+the footer — mirroring ADIOS BP's self-describing layout.
+
+Layout::
+
+    RBP1 | block 0 | block 1 | ... | footer JSON | footer_len:u64 | RBP1
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import BPFormatError, VariableNotFoundError
+
+__all__ = ["BPWriter", "BPReader", "MAGIC"]
+
+MAGIC = b"RBP1"
+_TRAILER = struct.Struct("<Q4s")
+
+
+class BPWriter:
+    """Accumulates payload blocks; :meth:`finalize` yields the file bytes."""
+
+    def __init__(self) -> None:
+        self._blocks: list[bytes] = []
+        self._index: dict[str, tuple[int, int]] = {}
+        self._pos = len(MAGIC)
+        self._finalized = False
+
+    def add(self, key: str, payload: bytes) -> tuple[int, int]:
+        """Append a block; returns its ``(offset, length)`` in the file."""
+        if self._finalized:
+            raise BPFormatError("writer already finalized")
+        if key in self._index:
+            raise BPFormatError(f"duplicate block key {key!r}")
+        offset = self._pos
+        self._blocks.append(bytes(payload))
+        self._index[key] = (offset, len(payload))
+        self._pos += len(payload)
+        return offset, len(payload)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the finalized file (header + blocks + footer)."""
+        footer = self._footer_bytes()
+        return self._pos + len(footer) + _TRAILER.size
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._index)
+
+    def offset_of(self, key: str) -> tuple[int, int]:
+        return self._index[key]
+
+    def _footer_bytes(self) -> bytes:
+        return json.dumps(self._index, sort_keys=True).encode("utf-8")
+
+    def finalize(self) -> bytes:
+        """Produce the complete subfile bytes."""
+        self._finalized = True
+        footer = self._footer_bytes()
+        return (
+            MAGIC
+            + b"".join(self._blocks)
+            + footer
+            + _TRAILER.pack(len(footer), MAGIC)
+        )
+
+
+class BPReader:
+    """Parses a subfile produced by :class:`BPWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        data = bytes(data)
+        if len(data) < len(MAGIC) + _TRAILER.size or data[:4] != MAGIC:
+            raise BPFormatError("not a BP subfile (bad header)")
+        footer_len, tail_magic = _TRAILER.unpack_from(data, len(data) - _TRAILER.size)
+        if tail_magic != MAGIC:
+            raise BPFormatError("not a BP subfile (bad trailer)")
+        footer_start = len(data) - _TRAILER.size - footer_len
+        if footer_start < len(MAGIC):
+            raise BPFormatError("corrupt BP subfile (footer overlaps header)")
+        try:
+            index = json.loads(data[footer_start : footer_start + footer_len])
+        except json.JSONDecodeError as exc:
+            raise BPFormatError(f"corrupt BP footer: {exc}") from exc
+        self._data = data
+        self._index = {k: tuple(v) for k, v in index.items()}
+
+    def keys(self) -> list[str]:
+        return sorted(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def offset_of(self, key: str) -> tuple[int, int]:
+        try:
+            return self._index[key]  # type: ignore[return-value]
+        except KeyError:
+            raise VariableNotFoundError(f"no block {key!r} in subfile") from None
+
+    def read(self, key: str) -> bytes:
+        offset, length = self.offset_of(key)
+        return self._data[offset : offset + length]

@@ -1,0 +1,124 @@
+"""Dataset integrity checking (``fsck`` for BP datasets).
+
+Campaign data outlives the jobs that wrote it; before a long analysis
+(or after a tier migration) users want to know the dataset is sound.
+The checker walks the catalog and verifies, per record:
+
+* the byte range exists on the recorded tier and is readable;
+* the payload decodes according to its kind (codec envelope for
+  base/delta, mesh blob, mapping blob);
+* decoded element counts match the catalog;
+* recorded value statistics (if any) match the decoded payload within
+  the codec's error bound.
+
+Checks are read-only and per-product, so a partially corrupted dataset
+yields a precise damage report instead of a failed restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compress import decode_auto
+from repro.core.mapping import LevelMapping
+from repro.errors import ReproError
+from repro.io.api import BPDataset
+from repro.mesh.io import mesh_from_bytes
+
+__all__ = ["CheckResult", "check_dataset"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one integrity pass."""
+
+    dataset: str
+    checked: int = 0
+    ok: int = 0
+    problems: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.problems
+
+    def report(self) -> str:
+        lines = [
+            f"dataset {self.dataset!r}: {self.ok}/{self.checked} products ok"
+        ]
+        for key, problem in self.problems:
+            lines.append(f"  BAD {key}: {problem}")
+        return "\n".join(lines)
+
+
+def _check_payload(rec, blob: bytes) -> str | None:
+    """Kind-specific validation; returns a problem string or None."""
+    if rec.kind in ("base", "delta") and rec.codec:
+        values = decode_auto(blob)
+        if rec.count and values.size != rec.count:
+            return f"decoded {values.size} values, catalog says {rec.count}"
+        if not np.isfinite(values).all():
+            return "decoded payload contains non-finite values"
+        stats = rec.attrs.get("stats")
+        if stats is not None and values.size:
+            # The recorded stats describe the original values; the stored
+            # payload may be lossy, so allow a small slack around them.
+            span = max(stats["vmax"] - stats["vmin"], abs(stats["vabs_max"]), 1e-30)
+            slack = 0.01 * span + 1e-12
+            if values.max() > stats["vmax"] + slack:
+                return (
+                    f"decoded max {values.max():g} exceeds recorded "
+                    f"vmax {stats['vmax']:g}"
+                )
+            if values.min() < stats["vmin"] - slack:
+                return (
+                    f"decoded min {values.min():g} below recorded "
+                    f"vmin {stats['vmin']:g}"
+                )
+    elif rec.kind == "mesh":
+        mesh_from_bytes(blob)
+    elif rec.kind == "mapping":
+        if rec.key.endswith("/idx"):
+            import zlib
+
+            zlib.decompress(blob)
+        else:
+            LevelMapping.from_bytes(blob)
+    return None
+
+
+def check_dataset(dataset: BPDataset) -> CheckResult:
+    """Verify every product of an open dataset."""
+    result = CheckResult(dataset=dataset.name)
+    for key in dataset.keys():
+        rec = dataset.inq(key)
+        result.checked += 1
+        try:
+            blob = dataset.read(key)
+        except ReproError as exc:
+            result.problems.append((key, f"unreadable: {exc}"))
+            continue
+        if len(blob) != rec.length:
+            result.problems.append(
+                (key, f"read {len(blob)} bytes, catalog says {rec.length}")
+            )
+            continue
+        if rec.checksum:
+            import zlib
+
+            crc = zlib.crc32(blob) & 0xFFFFFFFF
+            if crc != rec.checksum:
+                result.problems.append(
+                    (key, f"checksum mismatch: {crc:08x} != {rec.checksum:08x}")
+                )
+                continue
+        try:
+            problem = _check_payload(rec, blob)
+        except Exception as exc:  # corrupt payloads raise typed errors
+            problem = f"{type(exc).__name__}: {exc}"
+        if problem:
+            result.problems.append((key, problem))
+        else:
+            result.ok += 1
+    return result

@@ -1,0 +1,229 @@
+"""Synthetic unstructured-mesh builders.
+
+The paper evaluates on three triangular meshes: an XGC1 poloidal plane
+(toroidal cross-section ⇒ annulus-like), a GenASiS slice (disk), and a
+CFD surface mesh around a jet nose (rectangle with a body cut out). These
+builders produce meshes of matching topology and size. All of them return
+:class:`~repro.mesh.triangle_mesh.TriangleMesh` and accept a ``seed`` so
+datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.errors import MeshError
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = [
+    "structured_rectangle",
+    "delaunay_from_points",
+    "disk",
+    "annulus",
+    "rectangle_with_cutout",
+    "sunflower_points",
+]
+
+
+def structured_rectangle(
+    nx: int,
+    ny: int,
+    *,
+    width: float = 1.0,
+    height: float = 1.0,
+    jitter: float = 0.0,
+    seed: int | None = None,
+) -> TriangleMesh:
+    """Triangulated ``nx × ny`` vertex grid; each quad split into 2 triangles.
+
+    ``jitter`` perturbs interior vertices by up to that fraction of the
+    grid spacing, producing an unstructured-looking but valid mesh.
+    """
+    if nx < 2 or ny < 2:
+        raise MeshError("structured_rectangle needs nx, ny >= 2")
+    xs = np.linspace(0.0, width, nx)
+    ys = np.linspace(0.0, height, ny)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    vertices = np.column_stack([gx.ravel(), gy.ravel()])
+    if jitter > 0:
+        rng = np.random.default_rng(seed)
+        dx = width / (nx - 1)
+        dy = height / (ny - 1)
+        interior = (
+            (vertices[:, 0] > 0)
+            & (vertices[:, 0] < width)
+            & (vertices[:, 1] > 0)
+            & (vertices[:, 1] < height)
+        )
+        noise = rng.uniform(-jitter, jitter, size=(len(vertices), 2))
+        noise *= np.array([dx, dy]) * 0.49
+        vertices[interior] += noise[interior]
+
+    # Quad (i, j) has corners idx(i,j), idx(i+1,j), idx(i,j+1), idx(i+1,j+1).
+    i, j = np.meshgrid(np.arange(nx - 1), np.arange(ny - 1), indexing="ij")
+    v00 = (i * ny + j).ravel()
+    v10 = ((i + 1) * ny + j).ravel()
+    v01 = (i * ny + j + 1).ravel()
+    v11 = ((i + 1) * ny + j + 1).ravel()
+    tris = np.concatenate(
+        [
+            np.column_stack([v00, v10, v11]),
+            np.column_stack([v00, v11, v01]),
+        ]
+    )
+    return TriangleMesh(vertices, tris, validate=False)
+
+
+def delaunay_from_points(points: np.ndarray) -> TriangleMesh:
+    """Delaunay-triangulate a 2-D point cloud."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 3:
+        raise MeshError("need at least 3 points to triangulate")
+    tri = Delaunay(points)
+    return TriangleMesh(points, tri.simplices.astype(np.int64), validate=False)
+
+
+def sunflower_points(
+    n: int, radius: float = 1.0, center: tuple[float, float] = (0.0, 0.0)
+) -> np.ndarray:
+    """Vogel/sunflower spiral: n near-uniform points on a disk."""
+    if n < 1:
+        raise MeshError("need at least one point")
+    k = np.arange(1, n + 1, dtype=np.float64)
+    golden = np.pi * (3.0 - np.sqrt(5.0))
+    r = radius * np.sqrt((k - 0.5) / n)
+    theta = golden * k
+    return np.column_stack(
+        [center[0] + r * np.cos(theta), center[1] + r * np.sin(theta)]
+    )
+
+
+def disk(
+    n_points: int,
+    *,
+    radius: float = 1.0,
+    center: tuple[float, float] = (0.0, 0.0),
+    seed: int | None = None,
+    jitter: float = 0.0,
+) -> TriangleMesh:
+    """Near-uniform triangulated disk with ``n_points`` vertices."""
+    pts = sunflower_points(n_points, radius=radius, center=center)
+    if jitter > 0:
+        rng = np.random.default_rng(seed)
+        spacing = radius / np.sqrt(n_points)
+        pts = pts + rng.uniform(-jitter, jitter, pts.shape) * spacing
+    return delaunay_from_points(pts)
+
+
+def annulus(
+    n_rings: int,
+    n_sectors: int,
+    *,
+    r_inner: float = 0.3,
+    r_outer: float = 1.0,
+    center: tuple[float, float] = (0.0, 0.0),
+    twist: bool = True,
+) -> TriangleMesh:
+    """Structured triangulated annulus (XGC1 poloidal-plane-like topology).
+
+    ``n_rings`` radial vertex rings × ``n_sectors`` angular positions;
+    ``twist`` staggers alternate rings by half a sector for better-shaped
+    triangles. Euler characteristic of the result is 0 (one hole).
+    """
+    if n_rings < 2 or n_sectors < 3:
+        raise MeshError("annulus needs n_rings >= 2 and n_sectors >= 3")
+    radii = np.linspace(r_inner, r_outer, n_rings)
+    theta = np.linspace(0.0, 2 * np.pi, n_sectors, endpoint=False)
+    verts = np.empty((n_rings * n_sectors, 2), dtype=np.float64)
+    for ring, r in enumerate(radii):
+        offs = (0.5 * (2 * np.pi / n_sectors)) if (twist and ring % 2) else 0.0
+        t = theta + offs
+        verts[ring * n_sectors : (ring + 1) * n_sectors, 0] = (
+            center[0] + r * np.cos(t)
+        )
+        verts[ring * n_sectors : (ring + 1) * n_sectors, 1] = (
+            center[1] + r * np.sin(t)
+        )
+
+    tris: list[tuple[int, int, int]] = []
+    for ring in range(n_rings - 1):
+        a0 = ring * n_sectors
+        b0 = (ring + 1) * n_sectors
+        for s in range(n_sectors):
+            s1 = (s + 1) % n_sectors
+            tris.append((a0 + s, a0 + s1, b0 + s))
+            tris.append((a0 + s1, b0 + s1, b0 + s))
+    return TriangleMesh(verts, np.asarray(tris, dtype=np.int64), validate=False)
+
+
+def rectangle_with_cutout(
+    n_points: int,
+    *,
+    width: float = 4.0,
+    height: float = 2.0,
+    body: Callable[[np.ndarray], np.ndarray] | None = None,
+    boundary_layers: int = 3,
+    seed: int | None = None,
+) -> TriangleMesh:
+    """Exterior-flow mesh: rectangle with a solid body removed (CFD-like).
+
+    ``body(points) -> bool mask`` marks points inside the solid; the
+    default body is an ellipse ("jet nose") near the left of the domain.
+    Extra point rings are seeded along the body surface (``boundary_layers``)
+    so the mesh is refined at the fluid/solid interface, as CFD meshes are.
+    Triangles whose centroid falls inside the body are removed.
+    """
+    if body is None:
+
+        def body(points: np.ndarray) -> np.ndarray:
+            x = (points[:, 0] - width * 0.3) / (width * 0.12)
+            y = (points[:, 1] - height * 0.5) / (height * 0.18)
+            return x * x + y * y < 1.0
+
+    rng = np.random.default_rng(seed)
+    # Halton-like quasi-uniform cloud via stratified jitter.
+    nx = int(np.sqrt(n_points * width / height))
+    ny = max(2, n_points // max(nx, 1))
+    gx, gy = np.meshgrid(
+        np.linspace(0, width, nx), np.linspace(0, height, ny), indexing="ij"
+    )
+    pts = np.column_stack([gx.ravel(), gy.ravel()])
+    interior = (
+        (pts[:, 0] > 0) & (pts[:, 0] < width) & (pts[:, 1] > 0) & (pts[:, 1] < height)
+    )
+    jit = rng.uniform(-0.45, 0.45, pts.shape)
+    jit *= np.array([width / max(nx - 1, 1), height / max(ny - 1, 1)])
+    pts[interior] += jit[interior]
+
+    keep = ~body(pts)
+    pts = pts[keep]
+
+    # Surface rings: sample the body outline by rejection + projection.
+    cx, cy = width * 0.3, height * 0.5
+    theta = np.linspace(0, 2 * np.pi, max(32, n_points // 40), endpoint=False)
+    for layer in range(1, boundary_layers + 1):
+        scale = 1.0 + 0.035 * layer
+        ring = np.column_stack(
+            [
+                cx + width * 0.12 * scale * np.cos(theta),
+                cy + height * 0.18 * scale * np.sin(theta),
+            ]
+        )
+        inside_domain = (
+            (ring[:, 0] > 0)
+            & (ring[:, 0] < width)
+            & (ring[:, 1] > 0)
+            & (ring[:, 1] < height)
+        )
+        pts = np.vstack([pts, ring[inside_domain]])
+
+    mesh = delaunay_from_points(pts)
+    centroids = mesh.triangle_centroids()
+    fluid = ~body(centroids)
+    kept = mesh.triangles[fluid]
+    mesh2 = TriangleMesh(mesh.vertices, kept, validate=False)
+    compacted, _ = mesh2.compact()
+    return compacted

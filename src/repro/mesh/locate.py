@@ -1,0 +1,203 @@
+"""Point location in a triangular mesh.
+
+Delta calculation (paper Alg. 2) and restoration (Alg. 3) both need, for
+every fine-level vertex ``V^l_x``, the coarse-level triangle
+``<V^{l+1}_i, V^{l+1}_j, V^{l+1}_k>`` it falls into. The paper notes that
+brute force is too expensive and that Canopus stores the mapping in ADIOS
+metadata; here a uniform-grid spatial index makes the *initial* location
+pass near-linear, and :mod:`repro.core.mapping` persists the result.
+
+Because edge collapse moves vertices to midpoints, the coarse mesh's hull
+can shrink slightly, leaving some fine vertices outside every coarse
+triangle. Those are assigned to the nearest-centroid triangle (via a
+KD-tree) with *extrapolated* barycentric coordinates. Restoration is exact
+regardless: the delta absorbs whatever the estimate misses, so triangle
+assignment quality affects only delta smoothness, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import PointLocationError
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["TriangleLocator", "barycentric_coordinates"]
+
+_INSIDE_EPS = 1e-9
+
+
+def barycentric_coordinates(
+    points: np.ndarray, tri_points: np.ndarray
+) -> np.ndarray:
+    """Barycentric coordinates of ``points`` w.r.t. paired triangles.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` query points.
+    tri_points:
+        ``(n, 3, 2)`` triangle corner coordinates, one triangle per point.
+
+    Returns
+    -------
+    ``(n, 3)`` coordinates ``(w_i, w_j, w_k)`` summing to 1. Values may lie
+    outside [0, 1] for points outside their triangle (linear extrapolation).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    tri_points = np.asarray(tri_points, dtype=np.float64)
+    if points.ndim == 1:
+        points = points[None, :]
+        tri_points = tri_points[None, ...]
+    a = tri_points[:, 0]
+    b = tri_points[:, 1]
+    c = tri_points[:, 2]
+    v0 = b - a
+    v1 = c - a
+    v2 = points - a
+    d00 = np.einsum("ij,ij->i", v0, v0)
+    d01 = np.einsum("ij,ij->i", v0, v1)
+    d11 = np.einsum("ij,ij->i", v1, v1)
+    d20 = np.einsum("ij,ij->i", v2, v0)
+    d21 = np.einsum("ij,ij->i", v2, v1)
+    denom = d00 * d11 - d01 * d01
+    degenerate = np.abs(denom) < 1e-300
+    safe = np.where(degenerate, 1.0, denom)
+    w1 = (d11 * d20 - d01 * d21) / safe
+    w2 = (d00 * d21 - d01 * d20) / safe
+    w1 = np.where(degenerate, 1.0 / 3.0, w1)
+    w2 = np.where(degenerate, 1.0 / 3.0, w2)
+    w0 = 1.0 - w1 - w2
+    return np.stack([w0, w1, w2], axis=1)
+
+
+class TriangleLocator:
+    """Uniform-grid spatial index over a mesh's triangles.
+
+    The grid resolution targets a handful of triangles per cell:
+    ``cells ≈ n_triangles``, so build is O(m) and a point query inspects
+    only the triangles whose bounding box overlaps its cell.
+    """
+
+    def __init__(self, mesh: TriangleMesh, cells_per_triangle: float = 1.0):
+        if mesh.num_triangles == 0:
+            raise PointLocationError("cannot build a locator on an empty mesh")
+        self.mesh = mesh
+        lo, hi = mesh.bounding_box()
+        span = np.maximum(hi - lo, 1e-12)
+        n_cells = max(1, int(np.sqrt(mesh.num_triangles * cells_per_triangle)))
+        self._lo = lo
+        self._cell = span / n_cells
+        self._n = n_cells
+
+        tri_pts = mesh.vertices[mesh.triangles]  # (m, 3, 2)
+        tlo = tri_pts.min(axis=1)
+        thi = tri_pts.max(axis=1)
+        ilo = self._cell_index(tlo)
+        ihi = self._cell_index(thi)
+        # Bucket triangle ids by every cell their bbox covers.
+        buckets: dict[int, list[int]] = {}
+        for t in range(mesh.num_triangles):
+            for cx in range(ilo[t, 0], ihi[t, 0] + 1):
+                base = cx * n_cells
+                for cy in range(ilo[t, 1], ihi[t, 1] + 1):
+                    buckets.setdefault(base + cy, []).append(t)
+        self._buckets = {
+            cell: np.asarray(tris, dtype=np.int64)
+            for cell, tris in buckets.items()
+        }
+        self._centroid_tree = cKDTree(mesh.triangle_centroids())
+
+    def _cell_index(self, points: np.ndarray) -> np.ndarray:
+        idx = ((points - self._lo) / self._cell).astype(np.int64)
+        return np.clip(idx, 0, self._n - 1)
+
+    def locate(
+        self, points: np.ndarray, *, allow_fallback: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Locate every point; return ``(triangle_ids, barycentric)``.
+
+        ``triangle_ids`` is ``(n,)`` int64; ``barycentric`` is ``(n, 3)``.
+        Points inside the mesh get their containing triangle; points
+        outside get the nearest-centroid triangle with extrapolated
+        coordinates when ``allow_fallback`` (otherwise
+        :class:`PointLocationError` is raised).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        if single:
+            points = points[None, :]
+        n = len(points)
+        tri_ids = np.full(n, -1, dtype=np.int64)
+        bary = np.zeros((n, 3), dtype=np.float64)
+
+        cells = self._cell_index(points)
+        flat = cells[:, 0] * self._n + cells[:, 1]
+        order = np.argsort(flat, kind="stable")
+        mesh = self.mesh
+        verts = mesh.vertices
+        tris = mesh.triangles
+
+        # Process points cell by cell so the barycentric solve is a single
+        # vectorized (points-in-cell × candidates) computation.
+        start = 0
+        flat_sorted = flat[order]
+        while start < n:
+            end = start
+            cell = flat_sorted[start]
+            while end < n and flat_sorted[end] == cell:
+                end += 1
+            pidx = order[start:end]
+            start = end
+            cand = self._buckets.get(int(cell))
+            if cand is None:
+                continue
+            p = points[pidx]  # (P, 2)
+            tp = verts[tris[cand]]  # (C, 3, 2)
+            w = _bary_batch(p, tp)  # (P, C, 3)
+            inside = w.min(axis=2) >= -_INSIDE_EPS  # (P, C)
+            has = inside.any(axis=1)
+            first = np.argmax(inside, axis=1)
+            hit = pidx[has]
+            tri_ids[hit] = cand[first[has]]
+            bary[hit] = w[has, first[has]]
+
+        missing = np.flatnonzero(tri_ids < 0)
+        if len(missing):
+            if not allow_fallback:
+                raise PointLocationError(
+                    f"{len(missing)} point(s) outside the mesh"
+                )
+            _, nearest = self._centroid_tree.query(points[missing])
+            nearest = np.atleast_1d(nearest).astype(np.int64)
+            tri_ids[missing] = nearest
+            bary[missing] = barycentric_coordinates(
+                points[missing], verts[tris[nearest]]
+            )
+
+        if single:
+            return tri_ids[:1], bary[:1]
+        return tri_ids, bary
+
+
+def _bary_batch(points: np.ndarray, tri_points: np.ndarray) -> np.ndarray:
+    """Barycentric coords of each point w.r.t. each candidate triangle.
+
+    ``points``: (P, 2); ``tri_points``: (C, 3, 2) → result (P, C, 3).
+    """
+    a = tri_points[:, 0]  # (C, 2)
+    v0 = tri_points[:, 1] - a
+    v1 = tri_points[:, 2] - a
+    d00 = np.einsum("ij,ij->i", v0, v0)
+    d01 = np.einsum("ij,ij->i", v0, v1)
+    d11 = np.einsum("ij,ij->i", v1, v1)
+    denom = d00 * d11 - d01 * d01
+    safe = np.where(np.abs(denom) < 1e-300, 1.0, denom)
+    v2 = points[:, None, :] - a[None, :, :]  # (P, C, 2)
+    d20 = np.einsum("pcj,cj->pc", v2, v0)
+    d21 = np.einsum("pcj,cj->pc", v2, v1)
+    w1 = (d11 * d20 - d01 * d21) / safe
+    w2 = (d00 * d21 - d01 * d20) / safe
+    w0 = 1.0 - w1 - w2
+    return np.stack([w0, w1, w2], axis=2)

@@ -1,0 +1,106 @@
+"""Mesh quality and size metrics.
+
+Used by the decimation tests (to check that edge collapse keeps the mesh
+sane) and by the Fig. 4 refactoring bench (to report per-level mesh
+statistics alongside field smoothness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = [
+    "MeshStats",
+    "mesh_stats",
+    "triangle_aspect_ratios",
+    "triangle_min_angles",
+    "decimation_ratio",
+]
+
+
+def triangle_aspect_ratios(mesh: TriangleMesh) -> np.ndarray:
+    """Longest edge / (2 * inradius) per triangle; 1 for equilateral."""
+    p = mesh.vertices[mesh.triangles]  # (m, 3, 2)
+    e0 = np.linalg.norm(p[:, 1] - p[:, 0], axis=1)
+    e1 = np.linalg.norm(p[:, 2] - p[:, 1], axis=1)
+    e2 = np.linalg.norm(p[:, 0] - p[:, 2], axis=1)
+    s = 0.5 * (e0 + e1 + e2)
+    area = mesh.triangle_areas()
+    inradius = np.where(s > 0, area / np.maximum(s, 1e-300), 0.0)
+    longest = np.maximum(np.maximum(e0, e1), e2)
+    ratio = longest / np.maximum(2.0 * np.sqrt(3.0) * inradius, 1e-300)
+    return ratio
+
+
+def triangle_min_angles(mesh: TriangleMesh) -> np.ndarray:
+    """Minimum interior angle (radians) of each triangle."""
+    p = mesh.vertices[mesh.triangles]
+    angles = np.empty((mesh.num_triangles, 3), dtype=np.float64)
+    for i in range(3):
+        a = p[:, i]
+        b = p[:, (i + 1) % 3]
+        c = p[:, (i + 2) % 3]
+        u = b - a
+        v = c - a
+        cosang = np.einsum("ij,ij->i", u, v) / np.maximum(
+            np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1), 1e-300
+        )
+        angles[:, i] = np.arccos(np.clip(cosang, -1.0, 1.0))
+    return angles.min(axis=1)
+
+
+def decimation_ratio(fine: TriangleMesh, coarse: TriangleMesh) -> float:
+    """``d = |V^fine| / |V^coarse|`` (paper §III-B)."""
+    return fine.num_vertices / max(1, coarse.num_vertices)
+
+
+@dataclass(frozen=True)
+class MeshStats:
+    """Summary statistics for one mesh level."""
+
+    num_vertices: int
+    num_triangles: int
+    num_edges: int
+    num_boundary_edges: int
+    total_area: float
+    mean_edge_length: float
+    min_angle_deg: float
+    mean_aspect_ratio: float
+    euler_characteristic: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "num_vertices": self.num_vertices,
+            "num_triangles": self.num_triangles,
+            "num_edges": self.num_edges,
+            "num_boundary_edges": self.num_boundary_edges,
+            "total_area": self.total_area,
+            "mean_edge_length": self.mean_edge_length,
+            "min_angle_deg": self.min_angle_deg,
+            "mean_aspect_ratio": self.mean_aspect_ratio,
+            "euler_characteristic": self.euler_characteristic,
+        }
+
+
+def mesh_stats(mesh: TriangleMesh) -> MeshStats:
+    lengths = mesh.edge_lengths()
+    angles = triangle_min_angles(mesh)
+    return MeshStats(
+        num_vertices=mesh.num_vertices,
+        num_triangles=mesh.num_triangles,
+        num_edges=mesh.num_edges,
+        num_boundary_edges=len(mesh.boundary_edges),
+        total_area=mesh.total_area(),
+        mean_edge_length=float(lengths.mean()) if lengths.size else 0.0,
+        min_angle_deg=float(np.degrees(angles.min())) if angles.size else 0.0,
+        mean_aspect_ratio=(
+            float(triangle_aspect_ratios(mesh).mean())
+            if mesh.num_triangles
+            else 0.0
+        ),
+        euler_characteristic=mesh.euler_characteristic(),
+    )

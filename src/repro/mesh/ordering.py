@@ -1,0 +1,99 @@
+"""Vertex orderings that improve 1-D compression locality.
+
+The codecs consume per-vertex values as a 1-D stream, so their
+decorrelation (block transforms, neighbor prediction) only sees values
+that are *adjacent in storage order*. Mesh generators emit orders with
+varying spatial coherence; a connectivity-aware reordering makes
+storage neighbors mesh neighbors, which measurably improves ZFP-/SZ-
+style ratios on the same data (see
+``benchmarks/test_ablation_ordering.py``).
+
+Orderings:
+
+* ``bfs`` — breadth-first over the vertex adjacency from a boundary
+  (or minimum-degree) seed; the classic Cuthill–McKee traversal.
+* ``rcm`` — reverse Cuthill–McKee (BFS reversed; the usual bandwidth
+  minimizer).
+* ``spatial`` — Morton-style bit-interleaved sort of quantized
+  coordinates; cheap, geometry-only.
+
+All return a permutation ``perm`` with ``new_field = field[perm]``;
+``inverse_permutation(perm)`` maps back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["vertex_ordering", "inverse_permutation"]
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """``inv`` such that ``field[perm][inv] == field``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=np.int64)
+    return inv
+
+
+def _bfs_order(mesh: TriangleMesh) -> np.ndarray:
+    indptr, indices = mesh.vertex_adjacency()
+    n = mesh.num_vertices
+    degree = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # Start from a minimum-degree vertex; repeat per connected component.
+    candidates = np.argsort(degree, kind="stable")
+    for seed in candidates:
+        if visited[seed]:
+            continue
+        queue = [int(seed)]
+        visited[seed] = True
+        while queue:
+            next_queue: list[int] = []
+            for u in queue:
+                order[pos] = u
+                pos += 1
+                nbrs = indices[indptr[u] : indptr[u + 1]]
+                # Visit neighbors in increasing-degree order (CM rule).
+                nbrs = nbrs[np.argsort(degree[nbrs], kind="stable")]
+                for w in nbrs:
+                    if not visited[w]:
+                        visited[w] = True
+                        next_queue.append(int(w))
+            queue = next_queue
+    return order
+
+
+def _morton_order(mesh: TriangleMesh, bits: int = 16) -> np.ndarray:
+    lo, hi = mesh.bounding_box()
+    span = np.maximum(hi - lo, 1e-300)
+    q = ((mesh.vertices - lo) / span * (2**bits - 1)).astype(np.uint64)
+    code = np.zeros(mesh.num_vertices, dtype=np.uint64)
+    for b in range(bits):
+        bit = np.uint64(1) << np.uint64(b)
+        code |= ((q[:, 0] & bit) != 0).astype(np.uint64) << np.uint64(2 * b)
+        code |= ((q[:, 1] & bit) != 0).astype(np.uint64) << np.uint64(2 * b + 1)
+    return np.argsort(code, kind="stable").astype(np.int64)
+
+
+def vertex_ordering(mesh: TriangleMesh, method: str = "rcm") -> np.ndarray:
+    """Compute a compression-friendly vertex permutation.
+
+    Returns ``perm`` (new position → old vertex index).
+    """
+    if mesh.num_vertices == 0:
+        return np.zeros(0, dtype=np.int64)
+    if method == "identity":
+        return np.arange(mesh.num_vertices, dtype=np.int64)
+    if method == "bfs":
+        return _bfs_order(mesh)
+    if method == "rcm":
+        return _bfs_order(mesh)[::-1].copy()
+    if method == "spatial":
+        return _morton_order(mesh)
+    raise MeshError(f"unknown ordering {method!r}")

@@ -1,0 +1,153 @@
+"""Domain partitioning for parallel refactoring.
+
+Paper §III-C1: "the decimation is done locally without requiring
+communication with other processors, and therefore is embarrassingly
+parallel." In production each rank owns a patch of the global mesh and
+refactors it independently. This module builds those patches:
+
+* vertices are binned on a spatial grid and each bin becomes a
+  partition;
+* a triangle is assigned to the partition owning its first vertex, so
+  partitions tile the triangle set disjointly;
+* each partition's local mesh contains all vertices its triangles
+  touch; vertices it *owns* (bin members) are flagged, so a global
+  field can be reassembled exactly from per-partition results (halo
+  copies are ignored on gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["MeshPartition", "partition_mesh", "gather_field"]
+
+
+@dataclass
+class MeshPartition:
+    """One rank's patch of a global mesh.
+
+    Attributes
+    ----------
+    index:
+        Partition id.
+    mesh:
+        The local (compacted) triangle mesh.
+    global_vertices:
+        ``global_vertices[local] == global`` vertex index.
+    owned:
+        Local boolean mask; True where this partition owns the vertex
+        (each global vertex is owned by exactly one partition).
+    """
+
+    index: int
+    mesh: TriangleMesh
+    global_vertices: np.ndarray
+    owned: np.ndarray
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.sum())
+
+    def restrict(self, field: np.ndarray) -> np.ndarray:
+        """Slice a global per-vertex field down to this partition."""
+        field = np.asarray(field)
+        return field[..., self.global_vertices]
+
+
+def partition_mesh(mesh: TriangleMesh, parts: int) -> list[MeshPartition]:
+    """Split a mesh into ≈``parts`` spatially compact patches.
+
+    Empty spatial bins are dropped, so fewer partitions may be returned;
+    every triangle appears in exactly one partition and every vertex is
+    owned by exactly one.
+    """
+    if parts < 1:
+        raise MeshError("parts must be >= 1")
+    if mesh.num_triangles == 0:
+        raise MeshError("cannot partition an empty mesh")
+
+    g = max(1, int(np.ceil(np.sqrt(parts))))
+    lo, hi = mesh.bounding_box()
+    span = np.maximum(hi - lo, 1e-12)
+    cells = np.clip(
+        ((mesh.vertices - lo) / span * g).astype(np.int64), 0, g - 1
+    )
+    owner_bin = cells[:, 0] * g + cells[:, 1]  # per-vertex owner bin
+
+    tri_bin = owner_bin[mesh.triangles[:, 0]]  # triangle → owner bin
+    partitions: list[MeshPartition] = []
+    for index, bin_id in enumerate(np.unique(tri_bin)):
+        tri_ids = np.flatnonzero(tri_bin == bin_id)
+        tris = mesh.triangles[tri_ids]
+        local_vertices = np.unique(tris)
+        remap = np.full(mesh.num_vertices, -1, dtype=np.int64)
+        remap[local_vertices] = np.arange(len(local_vertices))
+        local_mesh = TriangleMesh(
+            mesh.vertices[local_vertices], remap[tris], validate=False
+        )
+        owned = owner_bin[local_vertices] == bin_id
+        partitions.append(
+            MeshPartition(
+                index=index,
+                mesh=local_mesh,
+                global_vertices=local_vertices,
+                owned=owned,
+            )
+        )
+
+    # Vertices in bins that own no triangle (possible for isolated bins)
+    # would be orphaned; assign each to the first partition that has it.
+    covered = np.zeros(mesh.num_vertices, dtype=bool)
+    for p in partitions:
+        newly = p.global_vertices[p.owned]
+        covered[newly] = True
+    missing = np.flatnonzero(~covered)
+    if len(missing):
+        missing_set = set(int(m) for m in missing)
+        for p in partitions:
+            if not missing_set:
+                break
+            for local, gv in enumerate(p.global_vertices):
+                if int(gv) in missing_set:
+                    p.owned[local] = True
+                    missing_set.discard(int(gv))
+        if missing_set:  # pragma: no cover - defensive
+            raise MeshError(f"{len(missing_set)} vertices not covered")
+    return partitions
+
+
+def gather_field(
+    partitions: list[MeshPartition],
+    local_fields: list[np.ndarray],
+    num_global: int,
+) -> np.ndarray:
+    """Reassemble a global field from per-partition locals.
+
+    Only owned entries contribute; halo copies are discarded. Every
+    global vertex must be owned by exactly one partition (guaranteed by
+    :func:`partition_mesh`).
+    """
+    if len(partitions) != len(local_fields):
+        raise MeshError("partitions and fields length mismatch")
+    sample = np.asarray(local_fields[0])
+    shape = sample.shape[:-1] + (num_global,)
+    out = np.zeros(shape, dtype=np.float64)
+    filled = np.zeros(num_global, dtype=bool)
+    for p, local in zip(partitions, local_fields):
+        local = np.asarray(local, dtype=np.float64)
+        if local.shape[-1] != p.mesh.num_vertices:
+            raise MeshError(
+                f"partition {p.index}: field has {local.shape[-1]} values "
+                f"for {p.mesh.num_vertices} vertices"
+            )
+        gv = p.global_vertices[p.owned]
+        out[..., gv] = local[..., p.owned]
+        filled[gv] = True
+    if not filled.all():
+        raise MeshError(f"{int((~filled).sum())} global vertices unfilled")
+    return out

@@ -1,0 +1,23 @@
+"""Performance models for the write-cost study (paper Fig. 6)."""
+
+from repro.perfmodel.scenarios import (
+    SCENARIOS,
+    StorageComputeScenario,
+    scenario,
+)
+from repro.perfmodel.modes import ModeCost, model_modes
+from repro.perfmodel.trend import TREND, MachinePoint, storage_to_compute_series
+from repro.perfmodel.writecost import WriteBreakdown, model_write_breakdown
+
+__all__ = [
+    "MachinePoint",
+    "TREND",
+    "storage_to_compute_series",
+    "StorageComputeScenario",
+    "SCENARIOS",
+    "scenario",
+    "WriteBreakdown",
+    "model_write_breakdown",
+    "ModeCost",
+    "model_modes",
+]

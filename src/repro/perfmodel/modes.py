@@ -1,0 +1,126 @@
+"""Deployment-mode cost model: post-processing, in situ, in transit.
+
+Paper §III-A: "Canopus can be run to save data for post-processing, in
+situ or in transit. By in situ, we mean Canopus runs on the same node as
+the simulation (using either the same core or a different core than the
+simulation process), and the in transit approach stages the data
+in-memory to auxiliary nodes for processing. Switching transport modes
+is a runtime option."
+
+Each mode is modeled as the critical-path time of one simulation output
+step, combining a measured refactor/compress cost (an
+:class:`~repro.core.encoder.EncodeReport`) with bandwidth parameters:
+
+* ``baseline``        — no Canopus: write the raw data to the PFS;
+* ``inline``          — same core: simulation blocks on refactor +
+  compressed write;
+* ``helper_core``     — dedicated node cores run Canopus concurrently;
+  the simulation loses those cores (slowdown factor) but only blocks on
+  the compressed write;
+* ``in_transit``      — raw data ships to staging nodes at network
+  speed; refactoring and the storage write leave the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoder import EncodeReport
+from repro.errors import ReproError
+
+__all__ = ["ModeCost", "model_modes"]
+
+_GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class ModeCost:
+    """Critical-path cost of one output step under one deployment mode."""
+
+    mode: str
+    simulation_seconds: float
+    blocking_seconds: float  # time the simulation stalls for data handling
+    offloaded_seconds: float  # work done off the critical path
+
+    @property
+    def step_seconds(self) -> float:
+        return self.simulation_seconds + self.blocking_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of the step spent not simulating."""
+        return self.blocking_seconds / self.step_seconds
+
+
+def model_modes(
+    report: EncodeReport,
+    *,
+    simulation_seconds: float,
+    storage_bandwidth: float = 250e6,
+    network_bandwidth: float = 5 * _GiB,
+    helper_core_fraction: float = 1.0 / 16.0,
+) -> dict[str, ModeCost]:
+    """Project one measured encode onto the four deployment modes.
+
+    Parameters
+    ----------
+    report:
+        Measured single-process encode (refactor/compress times + sizes).
+    simulation_seconds:
+        Compute time of one simulation step on the full node.
+    storage_bandwidth:
+        Per-process PFS bandwidth (bytes/s).
+    network_bandwidth:
+        Per-process interconnect bandwidth for staging (bytes/s).
+    helper_core_fraction:
+        Fraction of node cores given to the in situ helper (the
+        simulation slows by 1/(1−f)).
+    """
+    if simulation_seconds <= 0:
+        raise ReproError("simulation_seconds must be positive")
+    if not 0 < helper_core_fraction < 1:
+        raise ReproError("helper_core_fraction must be in (0, 1)")
+
+    raw = report.original_bytes
+    compressed = report.total_compressed_bytes
+    refactor = (
+        report.decimation_seconds
+        + report.delta_seconds
+        + report.compress_seconds
+    )
+    write_raw = raw / storage_bandwidth
+    write_compressed = compressed / storage_bandwidth
+    stage_raw = raw / network_bandwidth
+
+    baseline = ModeCost(
+        mode="baseline",
+        simulation_seconds=simulation_seconds,
+        blocking_seconds=write_raw,
+        offloaded_seconds=0.0,
+    )
+    inline = ModeCost(
+        mode="inline",
+        simulation_seconds=simulation_seconds,
+        blocking_seconds=refactor + write_compressed,
+        offloaded_seconds=0.0,
+    )
+    # Helper cores slow the simulation but take refactoring off its back;
+    # the simulation still blocks on the (compressed) write if the helper
+    # cannot keep up within the step.
+    slowed = simulation_seconds / (1.0 - helper_core_fraction)
+    helper_time = refactor / helper_core_fraction  # fewer cores, more time
+    helper = ModeCost(
+        mode="helper_core",
+        simulation_seconds=slowed,
+        blocking_seconds=max(0.0, helper_time - slowed) + write_compressed,
+        offloaded_seconds=min(helper_time, slowed),
+    )
+    in_transit = ModeCost(
+        mode="in_transit",
+        simulation_seconds=simulation_seconds,
+        blocking_seconds=stage_raw,
+        offloaded_seconds=refactor + write_compressed,
+    )
+    return {
+        m.mode: m for m in (baseline, inline, helper, in_transit)
+    }

@@ -1,0 +1,63 @@
+"""Storage-to-compute scenarios for the write-cost study (Fig. 6b).
+
+The paper: "For each of the compute-bound, medium, and I/O-bound
+scenario, we assign 32, 128, and 512 cores, respectively, along with
+one storage target to run XGC1. This medium case is chosen to reflect
+the capabilities of Titan which has 300,000 cores with 2,016 storage
+targets."
+
+Refactoring is embarrassingly parallel (decimation needs no
+communication), so its time scales as 1/cores; the storage target's
+bandwidth is fixed, so as cores grow the job becomes I/O-bound and the
+I/O fraction of the write path rises — the effect Fig. 6b visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["StorageComputeScenario", "SCENARIOS", "scenario"]
+
+#: Aggregate bandwidth of one storage target (Lustre OST-class).
+TARGET_BANDWIDTH = 250e6  # bytes/second
+
+
+@dataclass(frozen=True)
+class StorageComputeScenario:
+    """One point on the storage-to-compute axis."""
+
+    name: str
+    cores: int
+    storage_targets: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.storage_targets < 1:
+            raise ReproError("cores and storage_targets must be >= 1")
+
+    @property
+    def storage_bandwidth(self) -> float:
+        return self.storage_targets * TARGET_BANDWIDTH
+
+    @property
+    def storage_to_compute(self) -> float:
+        """Relative storage capability per core (arbitrary units)."""
+        return self.storage_bandwidth / self.cores
+
+
+#: Paper §IV-C: high / medium / low storage-to-compute.
+SCENARIOS: dict[str, StorageComputeScenario] = {
+    "high": StorageComputeScenario("high", cores=32),
+    "medium": StorageComputeScenario("medium", cores=128),
+    "low": StorageComputeScenario("low", cores=512),
+}
+
+
+def scenario(name: str) -> StorageComputeScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

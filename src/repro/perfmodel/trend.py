@@ -1,0 +1,44 @@
+"""Storage-to-compute trend for leadership HPC systems (paper Fig. 6a).
+
+Fig. 6a plots "bytes per sec / 1M flops" for large U.S. HPC systems
+since 2009 (sourced from the CODAR overview the paper cites [31]),
+showing the storage/compute gap widening sharply. We reconstruct the
+series from the public machine specs (peak FLOPS and parallel-filesystem
+aggregate bandwidth) of the leadership systems of each era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachinePoint", "TREND", "storage_to_compute_series"]
+
+
+@dataclass(frozen=True)
+class MachinePoint:
+    """One leadership machine's compute and storage headline numbers."""
+
+    year: int
+    name: str
+    peak_flops: float  # floating-point ops / second
+    storage_bandwidth: float  # bytes / second (aggregate PFS)
+
+    @property
+    def bytes_per_sec_per_mflops(self) -> float:
+        """The paper's Fig. 6a y-axis: B/s of storage per 1M flops."""
+        return self.storage_bandwidth / (self.peak_flops / 1e6)
+
+
+#: Leadership-class systems, 2009 → 2024 (public peak specs).
+TREND: tuple[MachinePoint, ...] = (
+    MachinePoint(2009, "Jaguar", 1.75e15, 240e9),
+    MachinePoint(2013, "Titan", 27e15, 1.4e12),
+    MachinePoint(2017, "Summit (planned)", 200e15, 2.5e12),
+    MachinePoint(2021, "Aurora-class (planned)", 1e18, 10e12),
+    MachinePoint(2024, "Frontier-era", 1.6e18, 10e12),
+)
+
+
+def storage_to_compute_series() -> list[tuple[int, float]]:
+    """(year, bytes/s per 1M flops) series; strictly decreasing."""
+    return [(m.year, m.bytes_per_sec_per_mflops) for m in TREND]

@@ -1,0 +1,78 @@
+"""Write-path cost model (paper Fig. 6b).
+
+Combines *measured* single-process kernel costs (from a real
+:class:`~repro.core.encoder.EncodeReport`) with a
+:class:`~repro.perfmodel.scenarios.StorageComputeScenario` to predict
+the per-process time breakdown of a parallel write:
+
+* decimation and delta-calculation/compression are local and
+  embarrassingly parallel → measured single-core cost, with every core
+  processing its own partition (weak scaling: per-core data volume is
+  the measured volume, so per-core compute time is the measured time);
+* I/O funnels all cores' compressed output through the scenario's
+  storage targets → per-core effective bandwidth =
+  aggregate / cores, so I/O time *grows* with core count.
+
+The output is the fraction stack of Fig. 6b: under high
+storage-to-compute the compute phases dominate; under low, I/O does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoder import EncodeReport
+from repro.errors import ReproError
+from repro.perfmodel.scenarios import StorageComputeScenario
+
+__all__ = ["WriteBreakdown", "model_write_breakdown"]
+
+
+@dataclass(frozen=True)
+class WriteBreakdown:
+    """Predicted per-process write-path times under one scenario."""
+
+    scenario: str
+    decimation_seconds: float
+    delta_compress_seconds: float
+    io_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.decimation_seconds
+            + self.delta_compress_seconds
+            + self.io_seconds
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Time fractions, the paper's Fig. 6b stacked bars."""
+        total = self.total_seconds
+        if total <= 0:
+            raise ReproError("empty breakdown")
+        return {
+            "decimation": self.decimation_seconds / total,
+            "delta_compression": self.delta_compress_seconds / total,
+            "io": self.io_seconds / total,
+        }
+
+
+def model_write_breakdown(
+    report: EncodeReport, scenario: StorageComputeScenario
+) -> WriteBreakdown:
+    """Project a measured single-process encode onto a parallel scenario.
+
+    Each core handles one mesh partition of the measured size (weak
+    scaling, as XGC1 does per-plane decomposition), so compute phases
+    keep their measured per-core times while the shared storage
+    bandwidth is divided across cores.
+    """
+    compressed = report.total_compressed_bytes
+    per_core_bandwidth = scenario.storage_bandwidth / scenario.cores
+    io_seconds = compressed / per_core_bandwidth
+    return WriteBreakdown(
+        scenario=scenario.name,
+        decimation_seconds=report.decimation_seconds,
+        delta_compress_seconds=report.delta_seconds + report.compress_seconds,
+        io_seconds=io_seconds,
+    )

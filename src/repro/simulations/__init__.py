@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's three evaluation datasets.
+
+The real XGC1/GenASiS/CFD outputs are not redistributable; these
+generators produce unstructured triangular meshes of matching size and
+fields with the same qualitative structure (see DESIGN.md substitution
+table): edge blobs for XGC1, a shock ring for GenASiS, body-interface
+pressure gradients for CFD.
+"""
+
+from repro.simulations.base import SyntheticDataset
+from repro.simulations.evolution import FieldEvolution
+from repro.simulations.cfd import make_cfd
+from repro.simulations.genasis import make_genasis
+from repro.simulations.registry import (
+    DATASET_FACTORIES,
+    dataset_names,
+    make_dataset,
+)
+from repro.simulations.xgc1 import make_xgc1
+
+__all__ = [
+    "SyntheticDataset",
+    "FieldEvolution",
+    "make_xgc1",
+    "make_genasis",
+    "make_cfd",
+    "make_dataset",
+    "dataset_names",
+    "DATASET_FACTORIES",
+]

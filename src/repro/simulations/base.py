@@ -1,0 +1,52 @@
+"""Common shape of the synthetic evaluation datasets.
+
+The paper evaluates Canopus on three applications, each contributing
+"floating-point quantities on an unstructured triangular mesh" (§IV-A).
+A :class:`SyntheticDataset` bundles one such (mesh, field) pair plus the
+naming used in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mesh.triangle_mesh import TriangleMesh
+
+__all__ = ["SyntheticDataset"]
+
+
+@dataclass
+class SyntheticDataset:
+    """One evaluation dataset: mesh + per-vertex field + identity."""
+
+    name: str  # e.g. "xgc1"
+    variable: str  # e.g. "dpot"
+    mesh: TriangleMesh
+    field: np.ndarray
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.field = np.ascontiguousarray(self.field, dtype=np.float64)
+        if len(self.field) != self.mesh.num_vertices:
+            raise ReproError(
+                f"{self.name}: field has {len(self.field)} values for "
+                f"{self.mesh.num_vertices} vertices"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.field.nbytes
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "variable": self.variable,
+            "vertices": self.mesh.num_vertices,
+            "triangles": self.mesh.num_triangles,
+            "field_min": float(self.field.min()),
+            "field_max": float(self.field.max()),
+            "bytes": self.nbytes,
+        }

@@ -1,0 +1,73 @@
+"""Synthetic GenASiS magnetic-field magnitude (supernova core collapse).
+
+The paper's GenASiS dataset shows "the magnetic field (normVec
+magnitude) surrounding a solar core collapse, resulting in a supernova",
+on a 130,050-triangle mesh. The physical structure visible in Fig. 4b is
+a bright accretion-shock ring around a turbulent interior, fading
+outward.
+
+Substitute: a disk mesh of matching size carrying a non-negative
+magnitude field — strong shock ring + decaying interior turbulence
+(angular modes seeded deterministically) + smooth ambient decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.generators import disk
+from repro.simulations.base import SyntheticDataset
+
+__all__ = ["make_genasis"]
+
+
+def make_genasis(
+    *,
+    scale: float = 1.0,
+    shock_radius: float = 0.55,
+    shock_width: float = 0.06,
+    shock_amplitude: float = 1.0,
+    seed: int = 11,
+) -> SyntheticDataset:
+    """Build the synthetic normVec-magnitude field.
+
+    ``scale=1.0`` targets ≈65k vertices / ≈130k triangles to match the
+    paper's mesh.
+    """
+    n_points = max(200, int(round(65_000 * scale)))
+    mesh = disk(n_points, radius=1.0, seed=seed, jitter=0.15)
+
+    v = mesh.vertices
+    r = np.hypot(v[:, 0], v[:, 1])
+    theta = np.arctan2(v[:, 1], v[:, 0])
+    rng = np.random.default_rng(seed)
+
+    # Stationary-accretion-shock ring, azimuthally modulated (SASI modes).
+    sloshing = 1.0 + 0.25 * np.cos(theta + rng.uniform(0, 2 * np.pi)) + 0.1 * np.cos(
+        2 * theta + rng.uniform(0, 2 * np.pi)
+    )
+    shock = shock_amplitude * sloshing * np.exp(
+        -((r - shock_radius) ** 2) / (2 * shock_width**2)
+    )
+
+    # Turbulent proto-neutron-star interior, decaying toward the shock.
+    interior = np.zeros(mesh.num_vertices)
+    for m in (3, 4, 6, 9):
+        amp = 0.35 / np.sqrt(m)
+        phase = rng.uniform(0, 2 * np.pi)
+        interior += amp * np.cos(m * theta + phase) * np.exp(-((r / 0.3) ** 2))
+    interior = np.abs(interior)
+
+    ambient = 0.08 * np.exp(-r / 0.8)
+    field = shock + interior + ambient
+
+    return SyntheticDataset(
+        name="genasis",
+        variable="normVec",
+        mesh=mesh,
+        field=field,
+        description=(
+            "Synthetic GenASiS |B|: accretion-shock ring + interior "
+            f"turbulence on a {mesh.num_vertices}-vertex disk"
+        ),
+    )

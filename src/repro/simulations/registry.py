@@ -1,0 +1,34 @@
+"""Dataset registry: name → factory, used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.simulations.base import SyntheticDataset
+from repro.simulations.cfd import make_cfd
+from repro.simulations.genasis import make_genasis
+from repro.simulations.xgc1 import make_xgc1
+
+__all__ = ["DATASET_FACTORIES", "make_dataset", "dataset_names"]
+
+DATASET_FACTORIES: dict[str, Callable[..., SyntheticDataset]] = {
+    "xgc1": make_xgc1,
+    "genasis": make_genasis,
+    "cfd": make_cfd,
+}
+
+
+def dataset_names() -> list[str]:
+    return sorted(DATASET_FACTORIES)
+
+
+def make_dataset(name: str, **params) -> SyntheticDataset:
+    """Instantiate a dataset by name, e.g. ``make_dataset("xgc1", scale=0.2)``."""
+    try:
+        factory = DATASET_FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    return factory(**params)

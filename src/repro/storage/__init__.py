@@ -1,0 +1,26 @@
+"""Simulated tiered storage substrate (see DESIGN.md substitutions).
+
+Real bytes are stored in real files under per-tier directories; transfer
+times are modeled from per-device latency/bandwidth so the multi-tier
+behaviour the paper measured on Titan (tmpfs + Lustre) can be reproduced
+on a laptop.
+"""
+
+from repro.storage.device import DEVICE_PRESETS, DeviceModel, device_preset
+from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
+from repro.storage.policy import AccessTracker, TierManager
+from repro.storage.simclock import IOEvent, SimClock
+from repro.storage.tier import StorageTier
+
+__all__ = [
+    "DeviceModel",
+    "DEVICE_PRESETS",
+    "device_preset",
+    "StorageTier",
+    "StorageHierarchy",
+    "two_tier_titan",
+    "TierManager",
+    "AccessTracker",
+    "SimClock",
+    "IOEvent",
+]

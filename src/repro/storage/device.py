@@ -1,0 +1,76 @@
+"""Storage device performance models.
+
+The paper evaluates on a two-tier hierarchy emulated with DRAM-backed
+tmpfs and the Lustre parallel file system on Titan, and motivates deeper
+hierarchies (HBM, NVRAM, SSD/burst buffer, PFS, campaign storage) on
+Summit/Aurora-class machines. We cannot measure those machines, so each
+device is modeled by a latency + bandwidth pair; transfer cost is
+
+    t(bytes) = latency + bytes / bandwidth
+
+The *absolute* values are representative per-process numbers from the
+literature; the figures reproduced here depend only on the relative gaps
+between tiers (the paper: "Canopus performs the best on a system when
+the performance gap between tiers is pronounced").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["DeviceModel", "DEVICE_PRESETS", "device_preset"]
+
+_KiB = 1024
+_MiB = 1024 * _KiB
+_GiB = 1024 * _MiB
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Latency/bandwidth cost model of one storage technology."""
+
+    name: str
+    read_bandwidth: float  # bytes/second
+    write_bandwidth: float  # bytes/second
+    latency: float  # seconds per operation
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise StorageError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise StorageError(f"{self.name}: latency must be non-negative")
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Modeled time to read ``nbytes``."""
+        return self.latency + nbytes / self.read_bandwidth
+
+    def write_seconds(self, nbytes: int) -> float:
+        """Modeled time to write ``nbytes``."""
+        return self.latency + nbytes / self.write_bandwidth
+
+
+#: Representative per-process device models (fastest first).
+DEVICE_PRESETS: dict[str, DeviceModel] = {
+    "hbm": DeviceModel("hbm", 16 * _GiB, 12 * _GiB, 0.2e-6),
+    "dram_tmpfs": DeviceModel("dram_tmpfs", 6 * _GiB, 4 * _GiB, 1e-6),
+    "nvram": DeviceModel("nvram", 3 * _GiB, 2 * _GiB, 5e-6),
+    "ssd": DeviceModel("ssd", 1.2 * _GiB, 800 * _MiB, 50e-6),
+    "burst_buffer": DeviceModel("burst_buffer", 1.5 * _GiB, 1 * _GiB, 100e-6),
+    # Per-request overhead for large streaming PFS reads with server-side
+    # readahead; congested metadata paths can be 10x worse, but the
+    # figures depend on the tier *gap*, not the absolute overhead.
+    "lustre": DeviceModel("lustre", 300 * _MiB, 250 * _MiB, 5e-4),
+    "campaign": DeviceModel("campaign", 50 * _MiB, 40 * _MiB, 20e-3),
+}
+
+
+def device_preset(name: str) -> DeviceModel:
+    """Look up a preset device model by name."""
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown device {name!r}; presets: {sorted(DEVICE_PRESETS)}"
+        ) from None

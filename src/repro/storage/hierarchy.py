@@ -1,0 +1,176 @@
+"""Ordered multi-tier storage hierarchy.
+
+Mirrors the paper's pyramid (Fig. 1): tier 0 in this list is the
+*fastest and smallest* (``ST2`` in the paper's 3-level example maps to
+our index 0), descending to the slowest and largest. Placement walks
+down from the fastest tier and bypasses tiers with insufficient
+capacity (§III-D); the proportional-allocation assumption of §IV-B and
+the data migration/eviction hook the paper defers ("we believe data
+migration and eviction will play an integral part") are implemented
+here as well.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CapacityError, StorageError
+from repro.storage.device import device_preset
+from repro.storage.simclock import SimClock
+from repro.storage.tier import StorageTier
+
+__all__ = ["StorageHierarchy", "two_tier_titan"]
+
+
+class StorageHierarchy:
+    """Ordered collection of tiers, fastest first."""
+
+    def __init__(self, tiers: list[StorageTier]) -> None:
+        if not tiers:
+            raise StorageError("hierarchy needs at least one tier")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate tier names: {names}")
+        self.tiers = list(tiers)
+        # Share one clock across all tiers so pipeline totals are coherent.
+        self.clock = tiers[0].clock
+        for t in tiers[1:]:
+            t.clock = self.clock
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[StorageTier]:
+        return iter(self.tiers)
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __getitem__(self, index: int) -> StorageTier:
+        return self.tiers[index]
+
+    def tier(self, name: str) -> StorageTier:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise StorageError(f"no tier named {name!r}")
+
+    def tier_names(self) -> list[str]:
+        return [t.name for t in self.tiers]
+
+    @property
+    def fastest(self) -> StorageTier:
+        return self.tiers[0]
+
+    @property
+    def slowest(self) -> StorageTier:
+        return self.tiers[-1]
+
+    # ------------------------------------------------------------------
+    def place(
+        self, relpath: str, data: bytes, preferred_index: int = 0, label: str = ""
+    ) -> StorageTier:
+        """Write starting at ``preferred_index``, bypassing full tiers.
+
+        Returns the tier that accepted the data. Raises
+        :class:`CapacityError` when no tier from the preferred one down
+        can hold it.
+        """
+        for t in self.tiers[preferred_index:]:
+            if t.has_capacity(len(data)) or t.exists(relpath):
+                return self._write_to(t, relpath, data, label)
+        raise CapacityError(
+            f"no tier at index >= {preferred_index} can hold "
+            f"{len(data)} bytes for {relpath!r}"
+        )
+
+    @staticmethod
+    def _write_to(
+        tier: StorageTier, relpath: str, data: bytes, label: str
+    ) -> StorageTier:
+        tier.write(relpath, data, label)
+        return tier
+
+    def locate(self, relpath: str) -> StorageTier | None:
+        """Find which tier holds ``relpath`` (fastest wins)."""
+        for t in self.tiers:
+            if t.exists(relpath):
+                return t
+        return None
+
+    def read(self, relpath: str, label: str = "") -> bytes:
+        t = self.locate(relpath)
+        if t is None:
+            raise StorageError(f"{relpath!r} not found on any tier")
+        return t.read(relpath, label)
+
+    # ------------------------------------------------------------------
+    def migrate(self, relpath: str, to_tier: str, label: str = "") -> None:
+        """Move a file between tiers (charged as read + write).
+
+        The eviction/migration mechanism the paper leaves as future work:
+        demoting a cold base dataset frees fast-tier capacity; promoting a
+        hot delta accelerates repeated analysis.
+        """
+        src = self.locate(relpath)
+        if src is None:
+            raise StorageError(f"{relpath!r} not found on any tier")
+        dst = self.tier(to_tier)
+        if dst is src:
+            return
+        data = src.read(relpath, label or "migrate")
+        dst.write(relpath, data, label or "migrate")
+        src.delete(relpath)
+
+    def evict(self, relpath: str) -> None:
+        """Demote a file one tier down (towards larger/slower storage)."""
+        src = self.locate(relpath)
+        if src is None:
+            raise StorageError(f"{relpath!r} not found on any tier")
+        idx = self.tiers.index(src)
+        if idx + 1 >= len(self.tiers):
+            raise StorageError(f"{relpath!r} already on the slowest tier")
+        self.migrate(relpath, self.tiers[idx + 1].name)
+
+    # ------------------------------------------------------------------
+    def proportional_allocation(self, output_bytes: int) -> dict[str, int]:
+        """Paper §IV-B proportional resource allocation.
+
+        If the capacity ratio between a fast tier and the slowest tier is
+        1/x, a simulation producing ``s`` bytes is granted ``s/x`` bytes
+        of the fast tier.
+        """
+        base = self.slowest.capacity_bytes
+        return {
+            t.name: max(1, int(output_bytes * t.capacity_bytes / base))
+            for t in self.tiers
+        }
+
+    def usage(self) -> dict[str, dict[str, int]]:
+        return {
+            t.name: {"used": t.used_bytes, "capacity": t.capacity_bytes}
+            for t in self.tiers
+        }
+
+
+def two_tier_titan(
+    root: str | Path,
+    *,
+    fast_capacity: int = 1 << 30,
+    slow_capacity: int = 1 << 40,
+    clock: SimClock | None = None,
+) -> StorageHierarchy:
+    """The paper's testbed: DRAM tmpfs over Lustre (Titan, §IV-B)."""
+    root = Path(root)
+    clock = clock if clock is not None else SimClock()
+    return StorageHierarchy(
+        [
+            StorageTier(
+                "tmpfs", device_preset("dram_tmpfs"), fast_capacity,
+                root / "tmpfs", clock,
+            ),
+            StorageTier(
+                "lustre", device_preset("lustre"), slow_capacity,
+                root / "lustre", clock,
+            ),
+        ]
+    )

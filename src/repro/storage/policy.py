@@ -1,0 +1,127 @@
+"""Tier management policy: high-water eviction and hot promotion.
+
+Paper §IV-B: "All runs assume that the base dataset can always fit in
+tmpfs. However, in a production environment, this may not be true and we
+believe data migration and eviction will play an integral part, which
+needs to be developed in Canopus." This module develops it:
+
+* every tier gets a **high-water mark**; when usage crosses it, the
+  coldest files (least recently / least frequently accessed, by
+  simulated-clock timestamps) are demoted one tier down until usage
+  falls below the **low-water mark**;
+* files that are read often on a slow tier can be **promoted** to the
+  fastest tier with room, keeping hot bases fast even under pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = ["AccessTracker", "TierManager"]
+
+
+@dataclass
+class _AccessInfo:
+    reads: int = 0
+    last_access: float = 0.0
+
+
+@dataclass
+class AccessTracker:
+    """Read statistics per relpath, stamped with the simulated clock."""
+
+    records: dict[str, _AccessInfo] = field(default_factory=dict)
+
+    def note(self, relpath: str, now: float) -> None:
+        info = self.records.setdefault(relpath, _AccessInfo())
+        info.reads += 1
+        info.last_access = now
+
+    def temperature(self, relpath: str) -> tuple[float, int]:
+        """Sort key: (last_access, reads); lowest = coldest."""
+        info = self.records.get(relpath, _AccessInfo())
+        return (info.last_access, info.reads)
+
+
+class TierManager:
+    """Watermark-driven migration over a :class:`StorageHierarchy`."""
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        *,
+        high_water: float = 0.9,
+        low_water: float = 0.7,
+        promote_after_reads: int = 3,
+    ) -> None:
+        if not 0 < low_water < high_water <= 1.0:
+            raise StorageError("need 0 < low_water < high_water <= 1")
+        self.hierarchy = hierarchy
+        self.high_water = high_water
+        self.low_water = low_water
+        self.promote_after_reads = promote_after_reads
+        self.tracker = AccessTracker()
+
+    # ------------------------------------------------------------------
+    def read(self, relpath: str, label: str = "") -> bytes:
+        """Tracked read: feeds the policy's access statistics."""
+        data = self.hierarchy.read(relpath, label)
+        self.tracker.note(relpath, self.hierarchy.clock.elapsed)
+        return data
+
+    # ------------------------------------------------------------------
+    def rebalance(self) -> list[tuple[str, str, str]]:
+        """Demote cold files from over-watermark tiers.
+
+        Returns the migrations performed as ``(relpath, from, to)``.
+        Files on the slowest tier have nowhere to go and are left alone.
+        """
+        moves: list[tuple[str, str, str]] = []
+        for idx, tier in enumerate(self.hierarchy.tiers[:-1]):
+            if tier.used_bytes <= self.high_water * tier.capacity_bytes:
+                continue
+            target = self.low_water * tier.capacity_bytes
+            victims = sorted(
+                tier.list_files(), key=self.tracker.temperature
+            )
+            for relpath in victims:
+                if tier.used_bytes <= target:
+                    break
+                dest = self._first_fit(idx + 1, tier.file_size(relpath))
+                if dest is None:
+                    break  # nothing downstream can hold it
+                self.hierarchy.migrate(relpath, dest)
+                moves.append((relpath, tier.name, dest))
+        return moves
+
+    def _first_fit(self, start_index: int, nbytes: int) -> str | None:
+        for tier in self.hierarchy.tiers[start_index:]:
+            if tier.has_capacity(nbytes):
+                return tier.name
+        return None
+
+    # ------------------------------------------------------------------
+    def promote_hot(self) -> list[tuple[str, str, str]]:
+        """Pull frequently-read files up to the fastest tier with room."""
+        moves: list[tuple[str, str, str]] = []
+        fastest = self.hierarchy.fastest
+        for relpath, info in sorted(
+            self.tracker.records.items(),
+            key=lambda kv: -kv[1].reads,
+        ):
+            if info.reads < self.promote_after_reads:
+                continue
+            src = self.hierarchy.locate(relpath)
+            if src is None or src is fastest:
+                continue
+            size = src.file_size(relpath)
+            if fastest.has_capacity(size) and (
+                fastest.used_bytes + size
+                <= self.high_water * fastest.capacity_bytes
+            ):
+                self.hierarchy.migrate(relpath, fastest.name)
+                moves.append((relpath, src.name, fastest.name))
+        return moves

@@ -1,0 +1,70 @@
+"""Simulated I/O time accounting.
+
+Real bytes flow through real local files, but the *reported* transfer
+times come from the tier device models, because the figures being
+reproduced were measured against tmpfs vs. Lustre on Titan. The clock
+records one event per transfer so pipelines can report per-phase,
+per-tier breakdowns (paper Figs. 6b, 9–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOEvent", "SimClock"]
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One simulated transfer."""
+
+    tier: str
+    op: str  # "read" | "write"
+    nbytes: int
+    seconds: float
+    label: str = ""
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated I/O time and an event log."""
+
+    elapsed: float = 0.0
+    events: list[IOEvent] = field(default_factory=list)
+
+    def charge(
+        self, tier: str, op: str, nbytes: int, seconds: float, label: str = ""
+    ) -> IOEvent:
+        """Record one transfer and advance the clock."""
+        event = IOEvent(tier=tier, op=op, nbytes=nbytes, seconds=seconds, label=label)
+        self.events.append(event)
+        self.elapsed += seconds
+        return event
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.events.clear()
+
+    # -- summaries -------------------------------------------------------
+    def total(self, op: str | None = None, tier: str | None = None) -> float:
+        """Total simulated seconds, optionally filtered by op and/or tier."""
+        return sum(
+            e.seconds
+            for e in self.events
+            if (op is None or e.op == op) and (tier is None or e.tier == tier)
+        )
+
+    def bytes_moved(self, op: str | None = None, tier: str | None = None) -> int:
+        return sum(
+            e.nbytes
+            for e in self.events
+            if (op is None or e.op == op) and (tier is None or e.tier == tier)
+        )
+
+    def by_tier(self, op: str | None = None) -> dict[str, float]:
+        """Simulated seconds per tier."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            if op is None or e.op == op:
+                out[e.tier] = out.get(e.tier, 0.0) + e.seconds
+        return out

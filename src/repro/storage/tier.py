@@ -1,0 +1,163 @@
+"""A single storage tier: device model + capacity + backing directory.
+
+Writes and reads move real bytes through real files under the tier's
+mount directory (so the end-to-end pipeline is honest), while transfer
+*times* are charged to a :class:`~repro.storage.simclock.SimClock`
+according to the tier's :class:`~repro.storage.device.DeviceModel`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CapacityError, StorageError
+from repro.storage.device import DeviceModel, device_preset
+from repro.storage.simclock import IOEvent, SimClock
+
+__all__ = ["StorageTier"]
+
+
+class StorageTier:
+    """One level of the storage hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Tier label, e.g. ``"ST2"`` or ``"tmpfs"``.
+    device:
+        A :class:`DeviceModel` or a preset name.
+    capacity_bytes:
+        Usable capacity. Placement bypasses a tier that cannot hold a
+        product (paper §III-D: "If a storage tier doesn't have sufficient
+        capacity, it will be bypassed and the next tier will be selected").
+    root:
+        Backing directory for the tier's files (created if missing).
+    clock:
+        Shared simulated clock; a private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: DeviceModel | str,
+        capacity_bytes: int,
+        root: str | Path,
+        clock: SimClock | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise StorageError(f"tier {name!r}: capacity must be positive")
+        self.name = name
+        self.device = device_preset(device) if isinstance(device, str) else device
+        self.capacity_bytes = int(capacity_bytes)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.clock = clock if clock is not None else SimClock()
+        self._used = 0
+        self._files: dict[str, int] = {}
+        # A tier directory persists across handles/processes (like a real
+        # mount): adopt whatever is already stored there.
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file():
+                size = path.stat().st_size
+                self._files[str(path.relative_to(self.root))] = size
+                self._used += size
+        if self._used > self.capacity_bytes:
+            raise StorageError(
+                f"tier {name!r}: existing content ({self._used} B) exceeds "
+                f"capacity {self.capacity_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def has_capacity(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def exists(self, relpath: str) -> bool:
+        return relpath in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def _path(self, relpath: str) -> Path:
+        p = (self.root / relpath).resolve()
+        if self.root.resolve() not in p.parents and p != self.root.resolve():
+            raise StorageError(f"path {relpath!r} escapes tier root")
+        return p
+
+    # ------------------------------------------------------------------
+    def write(self, relpath: str, data: bytes, label: str = "") -> IOEvent:
+        """Store ``data`` under ``relpath``; returns the charged event."""
+        nbytes = len(data)
+        previous = self._files.get(relpath, 0)
+        if nbytes - previous > self.free_bytes:
+            raise CapacityError(
+                f"tier {self.name!r}: {nbytes} bytes exceed free "
+                f"{self.free_bytes} of {self.capacity_bytes}"
+            )
+        path = self._path(relpath)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+        self._used += nbytes - previous
+        self._files[relpath] = nbytes
+        seconds = self.device.write_seconds(nbytes)
+        return self.clock.charge(self.name, "write", nbytes, seconds, label)
+
+    def read(self, relpath: str, label: str = "") -> bytes:
+        """Fetch the bytes stored under ``relpath``."""
+        if relpath not in self._files:
+            raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+        data = self._path(relpath).read_bytes()
+        seconds = self.device.read_seconds(len(data))
+        self.clock.charge(self.name, "read", len(data), seconds, label)
+        return data
+
+    def read_range(
+        self, relpath: str, offset: int, length: int, label: str = ""
+    ) -> bytes:
+        """Fetch a byte range; only ``length`` bytes are charged.
+
+        This is how the BP reader retrieves a single variable from a
+        multi-variable subfile without paying for the whole file — the
+        metadata-rich-format benefit the paper attributes to ADIOS.
+        """
+        if relpath not in self._files:
+            raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+        size = self._files[relpath]
+        if offset < 0 or length < 0 or offset + length > size:
+            raise StorageError(
+                f"tier {self.name!r}: range [{offset}, {offset + length}) "
+                f"outside file of {size} bytes"
+            )
+        with open(self._path(relpath), "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(length)
+        seconds = self.device.read_seconds(length)
+        self.clock.charge(self.name, "read", length, seconds, label)
+        return data
+
+    def delete(self, relpath: str) -> None:
+        """Remove a file and release its capacity."""
+        if relpath not in self._files:
+            raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+        self._used -= self._files.pop(relpath)
+        path = self._path(relpath)
+        if path.exists():
+            path.unlink()
+
+    def file_size(self, relpath: str) -> int:
+        if relpath not in self._files:
+            raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+        return self._files[relpath]
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageTier(name={self.name!r}, device={self.device.name!r}, "
+            f"used={self._used}/{self.capacity_bytes})"
+        )

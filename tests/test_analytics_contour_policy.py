@@ -1,0 +1,174 @@
+"""Tests for isocontour extraction and the tier-management policy."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.contour import contour_distance, extract_contour
+from repro.errors import AnalyticsError, StorageError
+from repro.mesh import decimate
+from repro.mesh.generators import disk, structured_rectangle
+from repro.storage import SimClock, StorageHierarchy, StorageTier
+from repro.storage.policy import TierManager
+
+
+class TestExtractContour:
+    def test_vertical_line_contour(self):
+        mesh = structured_rectangle(20, 20)
+        field = mesh.vertices[:, 0]
+        contour = extract_contour(mesh, field, 0.5)
+        assert contour.num_segments > 0
+        pts = contour.points()
+        assert np.allclose(pts[:, 0], 0.5, atol=1e-9)
+        # A straight cut across the unit square has total length ~1.
+        assert contour.total_length() == pytest.approx(1.0, rel=1e-6)
+
+    def test_circle_contour_length(self):
+        mesh = disk(4000, radius=1.0)
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        contour = extract_contour(mesh, r, 0.5)
+        # Circle of radius 0.5 → circumference π.
+        assert contour.total_length() == pytest.approx(np.pi, rel=0.02)
+
+    def test_no_crossing(self):
+        mesh = structured_rectangle(5, 5)
+        contour = extract_contour(mesh, mesh.vertices[:, 0], 5.0)
+        assert contour.num_segments == 0
+        assert contour.total_length() == 0.0
+
+    def test_isovalue_exactly_at_vertex(self):
+        mesh = structured_rectangle(6, 6)
+        field = mesh.vertices[:, 0]
+        # 0.4 is an exact grid value; the epsilon nudge must keep every
+        # crossed triangle contributing exactly 2 crossing points.
+        contour = extract_contour(mesh, field, 0.4)
+        assert contour.num_segments > 0
+        assert np.isfinite(contour.segments).all()
+
+    def test_field_length_mismatch(self):
+        mesh = structured_rectangle(4, 4)
+        with pytest.raises(AnalyticsError):
+            extract_contour(mesh, np.zeros(3), 0.0)
+
+    def test_segments_lie_on_mesh_edges_interpolation(self):
+        mesh = disk(500, seed=1)
+        field = mesh.vertices[:, 1]
+        contour = extract_contour(mesh, field, 0.1)
+        assert np.allclose(contour.points()[:, 1], 0.1, atol=1e-9)
+
+
+class TestContourDistance:
+    def test_identical_zero(self):
+        mesh = disk(800, seed=0)
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        c = extract_contour(mesh, r, 0.5)
+        assert contour_distance(c, c) == 0.0
+
+    def test_shifted_isovalue_distance(self):
+        mesh = disk(3000, seed=0)
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        c1 = extract_contour(mesh, r, 0.5)
+        c2 = extract_contour(mesh, r, 0.6)
+        # Concentric circles differ by ~0.1 in radius.
+        assert contour_distance(c1, c2) == pytest.approx(0.1, abs=0.02)
+
+    def test_empty_conventions(self):
+        mesh = disk(300, seed=0)
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        full = extract_contour(mesh, r, 0.5)
+        empty = extract_contour(mesh, r, 99.0)
+        assert contour_distance(empty, empty) == 0.0
+        assert contour_distance(full, empty) == float("inf")
+
+    def test_decimation_degrades_contours_gracefully(self):
+        """Cross-level contour drift shrinks as accuracy increases."""
+        mesh = disk(3000, seed=2)
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        field = np.tanh((0.5 - r) * 8)
+        reference = extract_contour(mesh, field, 0.0)
+        drifts = []
+        for ratio in (8, 2):
+            res = decimate(mesh, field, ratio=ratio)
+            c = extract_contour(res.mesh, res.fields["data"], 0.0)
+            drifts.append(contour_distance(c, reference))
+        assert drifts[1] < drifts[0]  # finer level → closer contour
+        assert drifts[1] < 0.05
+
+
+@pytest.fixture
+def managed(tmp_path):
+    clock = SimClock()
+    h = StorageHierarchy(
+        [
+            StorageTier("fast", "dram_tmpfs", 1000, tmp_path / "f", clock),
+            StorageTier("mid", "ssd", 5000, tmp_path / "m", clock),
+            StorageTier("slow", "lustre", 10**6, tmp_path / "s", clock),
+        ]
+    )
+    return h, TierManager(h, high_water=0.8, low_water=0.5)
+
+
+class TestTierManager:
+    def test_watermark_validation(self, managed):
+        h, _ = managed
+        with pytest.raises(StorageError):
+            TierManager(h, high_water=0.5, low_water=0.8)
+
+    def test_rebalance_noop_below_watermark(self, managed):
+        h, mgr = managed
+        h.place("a", b"x" * 100)
+        assert mgr.rebalance() == []
+
+    def test_rebalance_demotes_cold_first(self, managed):
+        h, mgr = managed
+        h.place("cold", b"c" * 450)
+        h.place("hot", b"h" * 450)  # fast tier now at 90% > high water
+        mgr.read("hot")  # hot is warmer than cold
+        moves = mgr.rebalance()
+        assert ("cold", "fast", "mid") in moves
+        assert h.locate("cold").name == "mid"
+        assert h.locate("hot").name == "fast"
+        assert h.tier("fast").used_bytes <= 0.5 * 1000
+
+    def test_rebalance_cascades_to_fit(self, managed):
+        h, mgr = managed
+        for i in range(3):
+            h.place(f"f{i}", b"x" * 300)  # 900/1000 on fast
+        moves = mgr.rebalance()
+        assert moves
+        assert h.tier("fast").used_bytes <= 500
+
+    def test_slowest_tier_never_rebalanced(self, managed):
+        h, mgr = managed
+        h.place("deep", b"x" * 900_000, preferred_index=2)
+        assert mgr.rebalance() == []
+
+    def test_promote_hot(self, managed):
+        h, mgr = managed
+        h.place("base", b"b" * 200, preferred_index=2)  # lands on slow
+        for _ in range(3):
+            mgr.read("base")
+        moves = mgr.promote_hot()
+        assert ("base", "slow", "fast") in moves
+        assert h.locate("base").name == "fast"
+
+    def test_promotion_respects_watermark(self, managed):
+        h, mgr = managed
+        h.place("filler", b"f" * 700)  # fast at 70%
+        h.place("big", b"b" * 400, preferred_index=2)
+        for _ in range(5):
+            mgr.read("big")
+        moves = mgr.promote_hot()
+        # 700 + 400 > 80% of 1000 → promotion refused.
+        assert moves == []
+        assert h.locate("big").name == "slow"
+
+    def test_cold_files_not_promoted(self, managed):
+        h, mgr = managed
+        h.place("rare", b"r" * 100, preferred_index=2)
+        mgr.read("rare")  # only once, below promote_after_reads
+        assert mgr.promote_hot() == []
+
+    def test_tracked_read_returns_data(self, managed):
+        h, mgr = managed
+        h.place("a", b"payload")
+        assert mgr.read("a") == b"payload"

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.mesh.io import load_mesh
+
+
+@pytest.fixture
+def generated(tmp_path):
+    mesh_path = tmp_path / "plane.npz"
+    rc = main(
+        ["generate", "xgc1", "--scale", "0.1", "--seed", "3", "--out",
+         str(mesh_path)]
+    )
+    assert rc == 0
+    return mesh_path, tmp_path / "store"
+
+
+class TestGenerate:
+    def test_generates_npz(self, generated, capsys):
+        mesh_path, _ = generated
+        mesh, fields = load_mesh(mesh_path)
+        assert mesh.num_vertices > 100
+        assert "dpot" in fields
+
+    def test_all_dataset_names(self, tmp_path):
+        for name in ("xgc1", "genasis", "cfd"):
+            out = tmp_path / f"{name}.npz"
+            assert main(["generate", name, "--scale", "0.05", "--out", str(out)]) == 0
+            assert out.exists()
+
+
+class TestEncodeInfoRestore:
+    def encode(self, generated):
+        mesh_path, root = generated
+        return main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--levels", "3", "--tolerance", "1e-4"]
+        )
+
+    def test_encode(self, generated, capsys):
+        assert self.encode(generated) == 0
+        out = capsys.readouterr().out
+        assert "dpot/L2" in out
+        assert "tmpfs" in out
+
+    def test_info(self, generated, capsys):
+        self.encode(generated)
+        _, root = generated
+        assert main(["info", "run", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "dpot/delta0-1" in out
+        assert "3 levels" in out
+
+    def test_restore_roundtrip(self, generated, tmp_path, capsys):
+        self.encode(generated)
+        mesh_path, root = generated
+        out_path = tmp_path / "restored.npz"
+        rc = main(
+            ["restore", "run", "--var", "dpot", "--level", "0",
+             "--root", str(root), "--out", str(out_path)]
+        )
+        assert rc == 0
+        mesh, fields = load_mesh(out_path)
+        orig_mesh, orig_fields = load_mesh(mesh_path)
+        assert mesh.num_vertices == orig_mesh.num_vertices
+        rng = np.ptp(orig_fields["dpot"])
+        err = np.abs(fields["dpot"] - orig_fields["dpot"]).max()
+        assert err <= 3e-4 * rng + 1e-12
+
+    def test_restore_intermediate_level(self, generated, tmp_path):
+        self.encode(generated)
+        mesh_path, root = generated
+        out_path = tmp_path / "l1.npz"
+        assert main(
+            ["restore", "run", "--var", "dpot", "--level", "1",
+             "--root", str(root), "--out", str(out_path)]
+        ) == 0
+        mesh, _ = load_mesh(out_path)
+        orig_mesh, _ = load_mesh(mesh_path)
+        assert mesh.num_vertices == pytest.approx(
+            orig_mesh.num_vertices / 2, rel=0.05
+        )
+
+
+class TestFsck:
+    def test_healthy(self, generated, capsys):
+        mesh_path, root = generated
+        main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root)]
+        )
+        assert main(["fsck", "run", "--root", str(root)]) == 0
+        assert "products ok" in capsys.readouterr().out
+
+    def test_corrupted_returns_nonzero(self, generated, capsys):
+        mesh_path, root = generated
+        main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root)]
+        )
+        # Flip a byte in the lustre subfile.
+        target = root / "lustre" / "run.lustre.bp"
+        data = bytearray(target.read_bytes())
+        data[len(data) // 3] ^= 0xFF
+        target.write_bytes(bytes(data))
+        assert main(["fsck", "run", "--root", str(root)]) == 2
+        assert "BAD" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_field(self, generated, capsys):
+        mesh_path, root = generated
+        rc = main(
+            ["encode", str(mesh_path), "--field", "nope", "--dataset", "x",
+             "--root", str(root)]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_dataset_name_rejected_by_parser(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "lhc", "--out", str(tmp_path / "x.npz")])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

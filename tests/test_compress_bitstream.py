@@ -1,0 +1,119 @@
+"""Tests for the bit-packing primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.bitstream import BitReader, BitWriter, pack_uint, unpack_uint
+from repro.errors import BitstreamError
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        vals = np.array([1, 2, 3, 7], dtype=np.uint64)
+        packed = pack_uint(vals, 3)
+        out = unpack_uint(packed, 4, 3)
+        assert np.array_equal(out, vals)
+
+    def test_width_zero(self):
+        assert pack_uint(np.array([0, 0], dtype=np.uint64), 0).size == 0
+        assert np.array_equal(unpack_uint(np.zeros(0, np.uint8), 3, 0), np.zeros(3))
+
+    def test_empty_values(self):
+        assert pack_uint(np.zeros(0, dtype=np.uint64), 5).size == 0
+
+    def test_overflow_detected(self):
+        with pytest.raises(BitstreamError):
+            pack_uint(np.array([8], dtype=np.uint64), 3)
+
+    def test_width_64(self):
+        vals = np.array([2**64 - 1, 0, 12345], dtype=np.uint64)
+        packed = pack_uint(vals, 64)
+        assert np.array_equal(unpack_uint(packed, 3, 64), vals)
+
+    def test_bad_width(self):
+        with pytest.raises(BitstreamError):
+            pack_uint(np.array([1], dtype=np.uint64), 65)
+        with pytest.raises(BitstreamError):
+            unpack_uint(np.zeros(8, np.uint8), 1, -1)
+
+    def test_bit_offset(self):
+        a = pack_uint(np.array([5], dtype=np.uint64), 3)
+        b = pack_uint(np.array([9, 2], dtype=np.uint64), 4)
+        combined = np.concatenate([a, b])
+        # a occupies 3 bits then pads to byte boundary (8 bits total).
+        out = unpack_uint(combined, 2, 4, bit_offset=8)
+        assert list(out) == [9, 2]
+
+    def test_underflow_raises(self):
+        packed = pack_uint(np.array([1, 2], dtype=np.uint64), 4)
+        with pytest.raises(BitstreamError):
+            unpack_uint(packed, 5, 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(1, 64),
+        n=st.integers(1, 50),
+        seed=st.integers(0, 2**31),
+    )
+    def test_roundtrip_property(self, width, n, seed):
+        rng = np.random.default_rng(seed)
+        hi = 2**width if width < 64 else 2**64
+        vals = rng.integers(0, hi, size=n, dtype=np.uint64, endpoint=False)
+        packed = pack_uint(vals, width)
+        assert len(packed) == (n * width + 7) // 8
+        assert np.array_equal(unpack_uint(packed, n, width), vals)
+
+
+class TestWriterReader:
+    def test_scalar_roundtrip(self):
+        w = BitWriter()
+        w.write_uint(5, 8)
+        w.write_uint(1000, 16)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(8) == 5
+        assert r.read_uint(16) == 1000
+
+    def test_array_roundtrip(self):
+        w = BitWriter()
+        vals = np.arange(10, dtype=np.uint64)
+        w.write_array(vals, 8)
+        r = BitReader(w.getvalue())
+        assert np.array_equal(r.read_array(10, 8), vals)
+
+    def test_unaligned_segments(self):
+        w = BitWriter()
+        w.write_uint(3, 3)
+        w.write_uint(100, 7)
+        w.write_array(np.array([1, 2, 3], dtype=np.uint64), 5)
+        blob = w.getvalue()
+        r = BitReader(blob)
+        assert r.read_uint(3) == 3
+        assert r.read_uint(7) == 100
+        assert list(r.read_array(3, 5)) == [1, 2, 3]
+
+    def test_bit_position_tracking(self):
+        w = BitWriter()
+        w.write_uint(1, 13)
+        assert w.bit_position == 13
+        r = BitReader(w.getvalue())
+        r.read_uint(13)
+        assert r.bit_position == 13
+
+    def test_skip_and_remaining(self):
+        w = BitWriter()
+        w.write_uint(0xFF, 8)
+        w.write_uint(0xAB, 8)
+        r = BitReader(w.getvalue())
+        r.skip(8)
+        assert r.read_uint(8) == 0xAB
+        assert r.bits_remaining == 0
+
+    def test_skip_past_end(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(BitstreamError):
+            r.skip(9)
+
+    def test_empty_writer(self):
+        assert BitWriter().getvalue() == b""

@@ -1,0 +1,267 @@
+"""Tests for the ZFP-, SZ-, FPC-style codecs and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compress import (
+    CompressionResult,
+    available_codecs,
+    compress_with_stats,
+    decode_auto,
+    get_codec,
+)
+from repro.compress.zfp import _forward_transform, _inverse_transform
+from repro.errors import CompressionError, UnknownCodecError
+
+
+def signals():
+    rng = np.random.default_rng(7)
+    x = np.linspace(0, 12, 4000)
+    return {
+        "smooth": np.sin(x) * np.exp(-0.1 * x),
+        "rough": np.sin(x) + rng.normal(0, 0.5, x.size),
+        "constant": np.full(1000, 3.25),
+        "tiny": rng.normal(0, 1e-8, 2000),
+        "large": rng.normal(1e6, 1e3, 2000),
+        "single": np.array([42.5]),
+        "pair": np.array([1.0, -1.0]),
+    }
+
+
+LOSSY = [("zfp", {"tolerance": 1e-5}), ("sz", {"tolerance": 1e-5})]
+LOSSLESS = [("fpc", {}), ("deflate", {}), ("raw", {}), ("zfp", {"tolerance": 0.0}), ("sz", {"tolerance": 0.0})]
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_codecs()
+        for expect in ("zfp", "sz", "fpc", "deflate", "raw"):
+            assert expect in names
+
+    def test_unknown_codec(self):
+        with pytest.raises(UnknownCodecError):
+            get_codec("bogus")
+
+    def test_decode_auto_dispatch(self):
+        data = np.linspace(0, 1, 100)
+        blob = get_codec("deflate").encode(data)
+        assert np.array_equal(decode_auto(blob), data)
+
+    def test_decode_wrong_codec(self):
+        data = np.linspace(0, 1, 10)
+        blob = get_codec("raw").encode(data)
+        with pytest.raises(CompressionError):
+            get_codec("deflate").decode(blob)
+
+    def test_decode_garbage(self):
+        with pytest.raises(CompressionError):
+            decode_auto(b"not a payload")
+
+
+class TestLossyBounds:
+    @pytest.mark.parametrize("name,params", LOSSY)
+    @pytest.mark.parametrize("signal", list(signals()))
+    def test_error_bound_respected(self, name, params, signal):
+        codec = get_codec(name, **params)
+        data = signals()[signal]
+        out = codec.decode(codec.encode(data))
+        assert out.shape == data.shape
+        if data.size:
+            assert np.max(np.abs(out - data)) <= params["tolerance"] + 1e-15
+
+    @pytest.mark.parametrize("name", ["zfp", "sz"])
+    def test_tighter_tolerance_bigger_payload(self, name):
+        data = signals()["rough"]
+        loose = len(get_codec(name, tolerance=1e-2).encode(data))
+        tight = len(get_codec(name, tolerance=1e-8).encode(data))
+        assert tight > loose
+
+    @pytest.mark.parametrize("name", ["zfp", "sz"])
+    def test_smooth_compresses_better_than_rough(self, name):
+        s = signals()
+        codec = get_codec(name, tolerance=1e-5)
+        assert len(codec.encode(s["smooth"])) < len(codec.encode(s["rough"]))
+
+    def test_zfp_relative_mode(self):
+        data = signals()["large"]
+        codec = get_codec("zfp", tolerance=1e-6, mode="relative")
+        out = codec.decode(codec.encode(data))
+        bound = 1e-6 * (data.max() - data.min())
+        assert np.max(np.abs(out - data)) <= bound * (1 + 1e-12)
+
+    def test_zfp_bad_mode(self):
+        with pytest.raises(CompressionError):
+            get_codec("zfp", mode="sideways")
+
+    def test_negative_tolerance(self):
+        with pytest.raises(CompressionError):
+            get_codec("zfp", tolerance=-1.0)
+        with pytest.raises(CompressionError):
+            get_codec("sz", tolerance=-1.0)
+
+    def test_tolerance_too_small_raises(self):
+        data = np.array([1e300, -1e300])
+        with pytest.raises(CompressionError):
+            get_codec("zfp", tolerance=1e-30).encode(data)
+        with pytest.raises(CompressionError):
+            get_codec("sz", tolerance=1e-30).encode(data)
+
+    def test_non_finite_rejected(self):
+        for name, params in LOSSY:
+            with pytest.raises(CompressionError):
+                get_codec(name, **params).encode(np.array([1.0, np.nan]))
+            with pytest.raises(CompressionError):
+                get_codec(name, **params).encode(np.array([np.inf]))
+
+    def test_max_error_reporting(self):
+        assert get_codec("zfp", tolerance=1e-3).max_error() == 1e-3
+        assert get_codec("fpc").max_error() == 0.0
+
+
+class TestLossless:
+    @pytest.mark.parametrize("name,params", LOSSLESS)
+    @pytest.mark.parametrize("signal", list(signals()))
+    def test_exact_roundtrip(self, name, params, signal):
+        codec = get_codec(name, **params)
+        data = signals()[signal]
+        out = codec.decode(codec.encode(data))
+        assert np.array_equal(out, data)
+
+    @pytest.mark.parametrize("predictor", ["delta", "fcm", "dfcm"])
+    def test_fpc_predictors_exact(self, predictor):
+        rng = np.random.default_rng(3)
+        data = np.cumsum(rng.normal(0, 1, 400))
+        codec = get_codec("fpc", predictor=predictor)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_fpc_bad_predictor(self):
+        with pytest.raises(CompressionError):
+            get_codec("fpc", predictor="psychic")
+
+    def test_fpc_compresses_correlated_data(self):
+        # Smooth trajectories share exponent/top-mantissa bytes.
+        x = np.linspace(1.0, 2.0, 8192)
+        blob = get_codec("fpc").encode(x)
+        assert len(blob) < x.nbytes
+
+    def test_deflate_level_validation(self):
+        with pytest.raises(CompressionError):
+            get_codec("deflate", level=11)
+
+    def test_negative_zero_preserved(self):
+        data = np.array([0.0, -0.0, 1.0])
+        for name, params in LOSSLESS:
+            out = get_codec(name, **params).decode(
+                get_codec(name, **params).encode(data)
+            )
+            assert np.array_equal(
+                np.signbit(out), np.signbit(data)
+            ), name
+
+
+class TestEmptyAndShapes:
+    @pytest.mark.parametrize(
+        "name,params", LOSSY + LOSSLESS, ids=lambda v: str(v)
+    )
+    def test_empty_array(self, name, params):
+        codec = get_codec(name, **params)
+        out = codec.decode(codec.encode(np.zeros(0)))
+        assert out.size == 0
+
+    def test_2d_input_flattened(self):
+        codec = get_codec("raw")
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        out = codec.decode(codec.encode(data))
+        assert out.shape == (12,)
+
+
+class TestTransform:
+    def test_transform_exact_inverse(self):
+        rng = np.random.default_rng(11)
+        q = rng.integers(-(2**40), 2**40, size=(500, 16)).astype(np.int64)
+        assert np.array_equal(_inverse_transform(_forward_transform(q)), q)
+
+    def test_transform_constant_block_single_coeff(self):
+        q = np.full((1, 16), 77, dtype=np.int64)
+        c = _forward_transform(q)
+        assert c[0, 0] == 77
+        assert np.all(c[0, 1:] == 0)
+
+    def test_transform_linear_block_small_details(self):
+        q = np.arange(16, dtype=np.int64)[None, :] * 10
+        c = _forward_transform(q)
+        # A linear ramp's fine-detail coefficients are all equal (constant
+        # slope), tiny compared to the DC term.
+        assert abs(c[0, 0]) > np.abs(c[0, 8:]).max()
+
+
+class TestStatsHelper:
+    def test_compress_with_stats(self):
+        data = signals()["smooth"]
+        res = compress_with_stats(get_codec("zfp", tolerance=1e-4), data)
+        assert isinstance(res, CompressionResult)
+        assert res.original_bytes == data.nbytes
+        assert res.compressed_bytes > 0
+        assert res.ratio > 1
+        assert 0 < res.normalized_size < 1
+        assert res.max_abs_error <= 1e-4
+        assert res.encode_seconds >= 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+    def test_zfp_bound_property(self, data):
+        codec = get_codec("zfp", tolerance=1e-3)
+        out = codec.decode(codec.encode(data))
+        assert np.max(np.abs(out - data)) <= 1e-3 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+    def test_sz_bound_property(self, data):
+        codec = get_codec("sz", tolerance=1e-3)
+        out = codec.decode(codec.encode(data))
+        assert np.max(np.abs(out - data)) <= 1e-3 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 200),
+            elements=st.floats(
+                allow_nan=False, allow_infinity=False, width=64
+            ),
+        )
+    )
+    def test_fpc_lossless_property(self, data):
+        codec = get_codec("fpc")
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(0, 150),
+            elements=st.floats(-1e9, 1e9, allow_nan=False, width=64),
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_decode_auto_roundtrip_property(self, data, seed):
+        name = ["fpc", "deflate", "raw"][seed % 3]
+        blob = get_codec(name).encode(data)
+        assert np.array_equal(decode_auto(blob), data)

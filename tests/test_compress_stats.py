@@ -1,0 +1,54 @@
+"""Tests for smoothness statistics (Fig. 4 support)."""
+
+import numpy as np
+import pytest
+
+from repro.compress.stats import smoothness, smoothness_table
+
+
+class TestSmoothness:
+    def test_constant_signal(self):
+        s = smoothness(np.full(100, 5.0))
+        assert s.std == 0.0
+        assert s.total_variation == 0.0
+        assert s.second_diff_rms == 0.0
+        assert s.value_range == 0.0
+
+    def test_linear_signal_zero_second_diff(self):
+        s = smoothness(np.linspace(0, 1, 50))
+        assert s.second_diff_rms == pytest.approx(0.0, abs=1e-12)
+        assert s.total_variation == pytest.approx(1.0 / 49.0)
+
+    def test_empty_signal(self):
+        s = smoothness(np.zeros(0))
+        assert s.n == 0
+
+    def test_single_value(self):
+        s = smoothness(np.array([3.0]))
+        assert s.n == 1
+        assert s.total_variation == 0.0
+
+    def test_rough_rougher_than_smooth(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 1000)
+        smooth_sig = np.sin(x)
+        rough_sig = np.sin(x) + rng.normal(0, 0.5, x.size)
+        assert (
+            smoothness(rough_sig).total_variation
+            > smoothness(smooth_sig).total_variation
+        )
+        assert (
+            smoothness(rough_sig).second_diff_rms
+            > smoothness(smooth_sig).second_diff_rms
+        )
+
+    def test_as_dict(self):
+        d = smoothness(np.array([1.0, 2.0, 3.0])).as_dict()
+        assert d["n"] == 3
+        assert d["mean"] == pytest.approx(2.0)
+
+    def test_table(self):
+        rows = smoothness_table({"a": np.zeros(5), "b": np.ones(5)})
+        assert len(rows) == 2
+        assert rows[0]["signal"] == "a"
+        assert rows[1]["mean"] == 1.0

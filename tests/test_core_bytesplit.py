@@ -1,0 +1,83 @@
+"""Tests for the byte-splitting refactorer (decimation alternative)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import byte_restore, byte_split
+from repro.errors import RefactoringError
+
+
+class TestByteSplit:
+    def test_full_restore_exact(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 100, 500)
+        products = byte_split(data)
+        assert np.array_equal(byte_restore(products), data)
+
+    def test_prefix_restore_monotone_error(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 100, 500)
+        products = byte_split(data, plan=(2, 2, 2, 2))
+        errors = []
+        for k in range(1, 5):
+            approx = byte_restore(products[:k])
+            errors.append(np.max(np.abs(approx - data)))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[3] == 0.0
+
+    def test_base_relative_error_bound(self):
+        """2 bytes = sign + exponent + 4 mantissa bits ⇒ rel err < 2^-4."""
+        rng = np.random.default_rng(2)
+        data = rng.uniform(1.0, 1000.0, 1000)
+        base = byte_split(data, plan=(2, 6))[0]
+        approx = byte_restore([base])
+        rel = np.abs(approx - data) / np.abs(data)
+        assert rel.max() < 2.0**-4
+
+    def test_plan_validation(self):
+        data = np.zeros(4)
+        with pytest.raises(RefactoringError):
+            byte_split(data, plan=(2, 2))  # sums to 4
+        with pytest.raises(RefactoringError):
+            byte_split(data, plan=(0, 8))
+
+    def test_restore_requires_base(self):
+        data = np.arange(10, dtype=float)
+        products = byte_split(data, plan=(2, 2, 4))
+        with pytest.raises(RefactoringError):
+            byte_restore(products[1:])
+        with pytest.raises(RefactoringError):
+            byte_restore([])
+
+    def test_non_contiguous_rejected(self):
+        data = np.arange(10, dtype=float)
+        products = byte_split(data, plan=(2, 2, 4))
+        with pytest.raises(RefactoringError):
+            byte_restore([products[0], products[2]])
+
+    def test_count_mismatch_rejected(self):
+        a = byte_split(np.arange(10, dtype=float), plan=(2, 6))
+        b = byte_split(np.arange(20, dtype=float), plan=(2, 6))
+        with pytest.raises(RefactoringError):
+            byte_restore([a[0], b[1]])
+
+    def test_base_plane_compresses(self):
+        """Top bytes of a smooth field are redundant ⇒ tiny base product."""
+        x = np.linspace(1.0, 2.0, 10_000)
+        base = byte_split(x, plan=(2, 6))[0]
+        assert len(base.payload) < 2 * len(x) * 0.3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 100),
+            elements=st.floats(allow_nan=False, allow_infinity=False, width=64),
+        )
+    )
+    def test_full_roundtrip_property(self, data):
+        products = byte_split(data, plan=(1, 1, 2, 4))
+        assert np.array_equal(byte_restore(products), data)

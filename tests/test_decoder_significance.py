@@ -1,0 +1,87 @@
+"""Tests for significance-pruned (bounded lossy) refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import CanopusDecoder, CanopusEncoder, LevelScheme
+from repro.io import BPDataset
+from repro.simulations import make_xgc1
+from repro.storage import two_tier_titan
+
+TOL = 1e-5
+CHUNKS = 25
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    ds = make_xgc1(scale=0.3)
+    h = two_tier_titan(
+        tmp_path_factory.mktemp("sig"), fast_capacity=16 << 20,
+        slow_capacity=1 << 34,
+    )
+    enc = CanopusEncoder(
+        h, codec="zfp", codec_params={"tolerance": TOL, "mode": "relative"},
+        chunks=CHUNKS,
+    )
+    enc.encode("sig", "dpot", ds.mesh, ds.field, LevelScheme(2))
+    return ds, h
+
+
+def _decoder(h):
+    dec = CanopusDecoder(BPDataset.open("sig", h))
+    dec.prefetch_geometry("dpot")
+    return dec
+
+
+class TestSignificancePrunedRefinement:
+    def test_error_bounded_by_threshold(self, setup):
+        ds, h = setup
+        dec_full = _decoder(h)
+        full = dec_full.refine(dec_full.read_base("dpot"))
+        threshold = 0.05 * float(np.abs(ds.field).max())
+        dec_sig = _decoder(h)
+        pruned = dec_sig.refine(
+            dec_sig.read_base("dpot"), min_significance=threshold
+        )
+        # Skipped chunks can move values by < threshold each.
+        assert np.abs(pruned.field - full.field).max() <= threshold + 1e-12
+
+    def test_reads_fewer_bytes(self, setup):
+        ds, h = setup
+        dec = _decoder(h)
+        base = dec.read_base("dpot")
+        before = h.clock.bytes_moved(op="read")
+        dec.refine(base, min_significance=0.05 * float(np.abs(ds.field).max()))
+        pruned_bytes = h.clock.bytes_moved(op="read") - before
+
+        dec2 = _decoder(h)
+        base2 = dec2.read_base("dpot")
+        before = h.clock.bytes_moved(op="read")
+        dec2.refine(base2)
+        full_bytes = h.clock.bytes_moved(op="read") - before
+        assert pruned_bytes < full_bytes
+
+    def test_zero_threshold_reads_everything(self, setup):
+        _, h = setup
+        dec = _decoder(h)
+        state = dec.refine(dec.read_base("dpot"), min_significance=0.0)
+        assert state.refined_mask.all()
+
+    def test_huge_threshold_skips_everything(self, setup):
+        ds, h = setup
+        dec = _decoder(h)
+        state = dec.refine(dec.read_base("dpot"), min_significance=1e12)
+        assert not state.refined_mask.any()
+        assert state.last_delta_rms == 0.0
+
+    def test_composes_with_region(self, setup):
+        ds, h = setup
+        dec = _decoder(h)
+        base = dec.read_base("dpot")
+        center = base.mesh.vertices[int(np.argmax(base.field))]
+        state = dec.refine(
+            base,
+            region=(center - 0.3, center + 0.3),
+            min_significance=1e-6,
+        )
+        assert 0 <= state.refined_mask.sum() < len(state.field)

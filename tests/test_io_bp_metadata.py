@@ -1,0 +1,141 @@
+"""Tests for the BP container format and the catalog index."""
+
+import pytest
+
+from repro.errors import BPFormatError, VariableNotFoundError
+from repro.io.bp import BPReader, BPWriter
+from repro.io.metadata import Catalog, VariableRecord
+
+
+class TestBPWriterReader:
+    def test_roundtrip(self):
+        w = BPWriter()
+        w.add("a", b"payload-a")
+        w.add("b", b"payload-bb")
+        data = w.finalize()
+        r = BPReader(data)
+        assert r.keys() == ["a", "b"]
+        assert r.read("a") == b"payload-a"
+        assert r.read("b") == b"payload-bb"
+
+    def test_offsets_usable_for_range_reads(self):
+        w = BPWriter()
+        w.add("x", b"0123")
+        w.add("y", b"456789")
+        data = w.finalize()
+        off, length = BPReader(data).offset_of("y")
+        assert data[off : off + length] == b"456789"
+
+    def test_duplicate_key_rejected(self):
+        w = BPWriter()
+        w.add("a", b"1")
+        with pytest.raises(BPFormatError):
+            w.add("a", b"2")
+
+    def test_add_after_finalize_rejected(self):
+        w = BPWriter()
+        w.add("a", b"1")
+        w.finalize()
+        with pytest.raises(BPFormatError):
+            w.add("b", b"2")
+
+    def test_nbytes_matches_finalized_size(self):
+        w = BPWriter()
+        w.add("a", b"x" * 123)
+        predicted = w.nbytes
+        assert predicted == len(w.finalize())
+
+    def test_empty_container(self):
+        data = BPWriter().finalize()
+        assert BPReader(data).keys() == []
+
+    def test_missing_block(self):
+        data = BPWriter().finalize()
+        with pytest.raises(VariableNotFoundError):
+            BPReader(data).read("nope")
+
+    def test_contains(self):
+        w = BPWriter()
+        w.add("a", b"1")
+        r = BPReader(w.finalize())
+        assert "a" in r and "b" not in r
+
+    def test_bad_header(self):
+        with pytest.raises(BPFormatError):
+            BPReader(b"JUNKJUNKJUNKJUNKJUNK")
+
+    def test_bad_trailer(self):
+        w = BPWriter()
+        w.add("a", b"1")
+        data = bytearray(w.finalize())
+        data[-1] ^= 0xFF
+        with pytest.raises(BPFormatError):
+            BPReader(bytes(data))
+
+    def test_truncated_file(self):
+        w = BPWriter()
+        w.add("a", b"1" * 100)
+        data = w.finalize()
+        with pytest.raises(BPFormatError):
+            BPReader(data[:8])
+
+    def test_binary_payload_integrity(self):
+        blob = bytes(range(256)) * 10
+        w = BPWriter()
+        w.add("bin", blob)
+        assert BPReader(w.finalize()).read("bin") == blob
+
+
+class TestCatalog:
+    def make_record(self, key="dpot/L2", **kw):
+        defaults = dict(
+            key=key, tier="tmpfs", subfile="ds.tmpfs.bp", offset=4,
+            length=100, codec="zfp", kind="base", level=2, count=500,
+        )
+        defaults.update(kw)
+        return VariableRecord(**defaults)
+
+    def test_add_get(self):
+        cat = Catalog("ds")
+        rec = self.make_record()
+        cat.add(rec)
+        assert cat.get("dpot/L2") is rec
+        assert "dpot/L2" in cat
+        assert cat.keys() == ["dpot/L2"]
+
+    def test_duplicate_rejected(self):
+        cat = Catalog("ds")
+        cat.add(self.make_record())
+        with pytest.raises(BPFormatError):
+            cat.add(self.make_record())
+
+    def test_missing_raises(self):
+        with pytest.raises(VariableNotFoundError):
+            Catalog("ds").get("ghost")
+
+    def test_select_by_kind_level(self):
+        cat = Catalog("ds")
+        cat.add(self.make_record("dpot/L2", kind="base", level=2))
+        cat.add(self.make_record("dpot/delta1-2", kind="delta", level=1))
+        cat.add(self.make_record("dpot/delta0-1", kind="delta", level=0))
+        assert len(cat.select(kind="delta")) == 2
+        assert cat.select(kind="delta", level=1)[0].key == "dpot/delta1-2"
+        assert len(cat.select()) == 3
+
+    def test_json_roundtrip(self):
+        cat = Catalog("ds")
+        cat.attrs["mesh"] = "annulus"
+        cat.add(self.make_record(attrs={"tolerance": 1e-4}))
+        blob = cat.to_json()
+        cat2 = Catalog.from_json(blob)
+        assert cat2.name == "ds"
+        assert cat2.attrs == {"mesh": "annulus"}
+        rec = cat2.get("dpot/L2")
+        assert rec.tier == "tmpfs"
+        assert rec.attrs["tolerance"] == 1e-4
+
+    def test_corrupt_json(self):
+        with pytest.raises(BPFormatError):
+            Catalog.from_json(b"{broken")
+        with pytest.raises(BPFormatError):
+            Catalog.from_json(b'{"version": 99, "name": "x", "records": []}')

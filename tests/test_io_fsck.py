@@ -1,0 +1,68 @@
+"""Tests for the dataset integrity checker."""
+
+import pytest
+
+from repro.harness import setup_experiment
+from repro.io import BPDataset
+from repro.io.fsck import check_dataset
+
+
+@pytest.fixture
+def setup(tmp_path):
+    return setup_experiment("xgc1", tmp_path, scale=0.1, chunks=4)
+
+
+def _corrupt(tier, relpath, offset):
+    path = tier._path(relpath)
+    data = bytearray(path.read_bytes())
+    data[offset % len(data)] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestCheckDataset:
+    def test_healthy_dataset(self, setup):
+        ds = BPDataset.open(setup.canopus_name, setup.hierarchy)
+        result = check_dataset(ds)
+        assert result.healthy
+        assert result.ok == result.checked > 0
+        assert "products ok" in result.report()
+
+    def test_detects_corrupt_delta_payload(self, setup):
+        ds = BPDataset.open(setup.canopus_name, setup.hierarchy)
+        rec = ds.inq("dpot/delta0-1/chunk0")
+        tier = setup.hierarchy.tier(rec.tier)
+        # Flip a byte in the middle of that chunk's payload body.
+        _corrupt(tier, rec.subfile, rec.offset + rec.length // 2)
+        result = check_dataset(BPDataset.open(setup.canopus_name, setup.hierarchy))
+        assert not result.healthy
+        assert any("chunk0" in key for key, _ in result.problems)
+
+    def test_detects_corrupt_mesh(self, setup):
+        ds = BPDataset.open(setup.canopus_name, setup.hierarchy)
+        rec = ds.inq("dpot/mesh2")
+        tier = setup.hierarchy.tier(rec.tier)
+        _corrupt(tier, rec.subfile, rec.offset + 2)
+        result = check_dataset(BPDataset.open(setup.canopus_name, setup.hierarchy))
+        assert not result.healthy
+        keys = [k for k, _ in result.problems]
+        assert "dpot/mesh2" in keys
+
+    def test_detects_missing_subfile(self, setup):
+        ds = BPDataset.open(setup.canopus_name, setup.hierarchy)
+        rec = ds.inq("dpot/L2")
+        setup.hierarchy.tier(rec.tier).delete(rec.subfile)
+        result = check_dataset(BPDataset.open(setup.canopus_name, setup.hierarchy))
+        assert not result.healthy
+        assert any("unreadable" in p for _, p in result.problems)
+
+    def test_report_lists_each_problem(self, setup):
+        ds = BPDataset.open(setup.canopus_name, setup.hierarchy)
+        rec = ds.inq("dpot/mesh2")
+        tier = setup.hierarchy.tier(rec.tier)
+        _corrupt(tier, rec.subfile, rec.offset + 2)
+        result = check_dataset(BPDataset.open(setup.canopus_name, setup.hierarchy))
+        assert "BAD" in result.report()
+
+    def test_baseline_dataset_checks(self, setup):
+        ds = BPDataset.open(setup.baseline_name, setup.hierarchy)
+        assert check_dataset(ds).healthy

@@ -1,0 +1,159 @@
+"""Tests for the query engine and the deployment-mode cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncodeReport
+from repro.core.notation import LevelScheme
+from repro.errors import ReproError, VariableNotFoundError
+from repro.harness import setup_experiment
+from repro.io import BPDataset, ChunkStats, QueryEngine, attach_stats
+from repro.io.metadata import VariableRecord
+from repro.perfmodel import model_modes
+
+
+@pytest.fixture(scope="module")
+def chunked_setup(tmp_path_factory):
+    return setup_experiment(
+        "xgc1", tmp_path_factory.mktemp("query"), scale=0.2, chunks=16
+    )
+
+
+class TestChunkStats:
+    def test_of_values(self):
+        s = ChunkStats.of(np.array([-3.0, 1.0, 2.0]))
+        assert s.vmin == -3.0 and s.vmax == 2.0 and s.vabs_max == 3.0
+
+    def test_empty(self):
+        s = ChunkStats.of(np.zeros(0))
+        assert s.vmin == 0.0 and s.vmax == 0.0
+
+    def test_attach(self):
+        rec = VariableRecord(
+            key="k", tier="t", subfile="s", offset=0, length=1
+        )
+        attach_stats(rec, np.array([1.0, 5.0]))
+        assert rec.attrs["stats"]["vmax"] == 5.0
+
+
+class TestQueryEngine:
+    def test_stats_recorded_by_encoder(self, chunked_setup):
+        q = QueryEngine(BPDataset.open(chunked_setup.canopus_name,
+                                       chunked_setup.hierarchy))
+        stats = q.stats_of("dpot/L2")
+        assert stats is not None
+        field = chunked_setup.refactored.base_field
+        assert stats.vmax == pytest.approx(field.max())
+
+    def test_candidates_above_prunes(self, chunked_setup):
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        everything = q.candidates_above(-np.inf, kind="delta")
+        # Deltas are near zero; a high threshold prunes almost all chunks.
+        few = q.candidates_above(0.5, kind="delta")
+        assert len(few) < len(everything)
+
+    def test_candidates_sound(self, chunked_setup):
+        """Pruned chunks provably cannot contain values above threshold."""
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        threshold = 0.3
+        kept = set(q.candidates_above(threshold, kind="base"))
+        for rec in ds.select(kind="base"):
+            if rec.key not in kept:
+                assert rec.attrs["stats"]["vmax"] < threshold
+
+    def test_candidates_significant(self, chunked_setup):
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        all_deltas = q.candidates_significant(0.0)
+        some = q.candidates_significant(1e-2)
+        assert len(some) <= len(all_deltas)
+
+    def test_products_without_stats_kept(self, chunked_setup):
+        """Mesh/mapping products carry no stats → conservatively kept."""
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        kept = q.candidates_above(1e18, kind="mesh")
+        assert len(kept) == len(ds.select(kind="mesh"))
+
+    def test_prune_report(self, chunked_setup):
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        rep = q.prune_report(0.5, kind="delta")
+        assert rep["kept_products"] <= rep["total_products"]
+        assert rep["kept_bytes"] <= rep["total_bytes"]
+
+    def test_require_missing(self, chunked_setup):
+        ds = BPDataset.open(chunked_setup.canopus_name, chunked_setup.hierarchy)
+        q = QueryEngine(ds)
+        with pytest.raises(VariableNotFoundError):
+            q.require("dpot/mesh2")  # mesh has no stats
+
+
+class TestModes:
+    def make_report(self):
+        report = EncodeReport(
+            var="dpot", scheme=LevelScheme(3), original_bytes=100 << 20
+        )
+        report.decimation_seconds = 2.0
+        report.delta_seconds = 1.0
+        report.compress_seconds = 1.0
+        report.compressed_bytes = {"dpot/L2": 5 << 20, "dpot/delta0-1": 15 << 20}
+        return report
+
+    def test_all_modes_present(self):
+        modes = model_modes(self.make_report(), simulation_seconds=30.0)
+        assert set(modes) == {"baseline", "inline", "helper_core", "in_transit"}
+
+    def test_in_transit_blocks_least(self):
+        """Staging at network speed beats every storage-bound mode."""
+        modes = model_modes(self.make_report(), simulation_seconds=30.0)
+        assert (
+            modes["in_transit"].blocking_seconds
+            < modes["inline"].blocking_seconds
+        )
+        assert (
+            modes["in_transit"].blocking_seconds
+            < modes["baseline"].blocking_seconds
+        )
+
+    def test_canopus_inline_beats_baseline_when_io_bound(self):
+        """Writing 4x less data wins once storage is slow enough."""
+        modes = model_modes(
+            self.make_report(),
+            simulation_seconds=30.0,
+            storage_bandwidth=10e6,  # badly congested PFS
+        )
+        assert modes["inline"].step_seconds < modes["baseline"].step_seconds
+
+    def test_baseline_wins_when_storage_is_free(self):
+        """With infinite-speed storage, refactoring is pure overhead."""
+        modes = model_modes(
+            self.make_report(),
+            simulation_seconds=30.0,
+            storage_bandwidth=1e15,
+        )
+        assert modes["baseline"].step_seconds < modes["inline"].step_seconds
+
+    def test_helper_core_offloads(self):
+        modes = model_modes(self.make_report(), simulation_seconds=300.0)
+        helper = modes["helper_core"]
+        assert helper.offloaded_seconds > 0
+        # Long steps hide the helper's work entirely: blocking is just
+        # the compressed write.
+        assert helper.blocking_seconds < modes["inline"].blocking_seconds
+
+    def test_overhead_fraction(self):
+        modes = model_modes(self.make_report(), simulation_seconds=30.0)
+        for mode in modes.values():
+            assert 0 <= mode.overhead_fraction < 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            model_modes(self.make_report(), simulation_seconds=0)
+        with pytest.raises(ReproError):
+            model_modes(
+                self.make_report(), simulation_seconds=1.0,
+                helper_core_fraction=1.5,
+            )

@@ -1,0 +1,176 @@
+"""Tests for point location, barycentric coordinates, and interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError, PointLocationError
+from repro.mesh import (
+    TriangleLocator,
+    TriangleMesh,
+    barycentric_coordinates,
+    interpolate_at_points,
+    interpolate_to_grid,
+)
+from repro.mesh.generators import annulus, disk, structured_rectangle
+
+
+@pytest.fixture(scope="module")
+def square_mesh():
+    return structured_rectangle(12, 12)
+
+
+class TestBarycentric:
+    def test_corners(self):
+        tri = np.array([[[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]])
+        for corner, expect in [
+            ((0, 0), [1, 0, 0]),
+            ((1, 0), [0, 1, 0]),
+            ((0, 1), [0, 0, 1]),
+        ]:
+            w = barycentric_coordinates(np.array([corner], float), tri)
+            assert np.allclose(w[0], expect, atol=1e-12)
+
+    def test_centroid(self):
+        tri = np.array([[[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]]])
+        w = barycentric_coordinates(np.array([[1.0, 1.0]]), tri)
+        assert np.allclose(w[0], [1 / 3, 1 / 3, 1 / 3])
+
+    def test_sums_to_one_outside(self):
+        tri = np.array([[[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]])
+        w = barycentric_coordinates(np.array([[5.0, 5.0]]), tri)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.min() < 0  # outside → negative coordinate
+
+    def test_degenerate_triangle_safe(self):
+        tri = np.array([[[0.0, 0.0], [0.0, 0.0], [0.0, 0.0]]])
+        w = barycentric_coordinates(np.array([[1.0, 1.0]]), tri)
+        assert np.isfinite(w).all()
+
+    def test_single_point_api(self):
+        tri = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        w = barycentric_coordinates(np.array([0.25, 0.25]), tri)
+        assert w.shape == (1, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        x=st.floats(-2, 2, allow_nan=False),
+        y=st.floats(-2, 2, allow_nan=False),
+    )
+    def test_partition_of_unity_property(self, x, y):
+        tri = np.array([[[0.1, 0.2], [1.3, 0.1], [0.4, 1.7]]])
+        w = barycentric_coordinates(np.array([[x, y]]), tri)
+        assert w.sum() == pytest.approx(1.0, abs=1e-9)
+        # Linear reproduction: sum(w_i * corner_i) == point
+        rec = (w[0][:, None] * tri[0]).sum(axis=0)
+        assert np.allclose(rec, [x, y], atol=1e-9)
+
+
+class TestLocator:
+    def test_vertices_locate_in_incident_triangle(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        tri_ids, bary = loc.locate(square_mesh.vertices)
+        assert (tri_ids >= 0).all()
+        # Each vertex must appear in its assigned triangle with weight ~1.
+        for i in range(square_mesh.num_vertices):
+            tri = square_mesh.triangles[tri_ids[i]]
+            assert i in tri
+            w = bary[i][list(tri).index(i)]
+            assert w == pytest.approx(1.0, abs=1e-9)
+
+    def test_interior_points(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0.05, 0.95, size=(200, 2))
+        tri_ids, bary = loc.locate(pts)
+        assert (bary.min(axis=1) >= -1e-9).all()
+        # Verify containment: reconstruct the point from barycentric coords.
+        corners = square_mesh.vertices[square_mesh.triangles[tri_ids]]
+        rec = np.einsum("ijk,ij->ik", corners, bary)
+        assert np.allclose(rec, pts, atol=1e-9)
+
+    def test_outside_points_fallback(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        tri_ids, bary = loc.locate(np.array([[5.0, 5.0]]))
+        assert tri_ids[0] >= 0
+        assert bary.sum() == pytest.approx(1.0)
+
+    def test_outside_points_strict_raises(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        with pytest.raises(PointLocationError):
+            loc.locate(np.array([[5.0, 5.0]]), allow_fallback=False)
+
+    def test_empty_mesh_raises(self):
+        mesh = TriangleMesh(np.zeros((0, 2)), np.zeros((0, 3), dtype=int))
+        with pytest.raises(PointLocationError):
+            TriangleLocator(mesh)
+
+    def test_single_point_shape(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        tri_ids, bary = loc.locate(np.array([0.5, 0.5]))
+        assert tri_ids.shape == (1,)
+        assert bary.shape == (1, 3)
+
+    def test_annulus_hole_points_get_fallback(self):
+        mesh = annulus(10, 40, r_inner=0.5)
+        loc = TriangleLocator(mesh)
+        tri_ids, _ = loc.locate(np.array([[0.0, 0.0]]))  # center of hole
+        assert tri_ids[0] >= 0  # nearest-triangle fallback
+
+    def test_locate_many_matches_individual(self):
+        mesh = disk(500, seed=3)
+        loc = TriangleLocator(mesh)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-0.6, 0.6, size=(50, 2))
+        batch_ids, batch_w = loc.locate(pts)
+        for i, p in enumerate(pts):
+            tid, w = loc.locate(p)
+            corners_a = mesh.vertices[mesh.triangles[batch_ids[i]]]
+            corners_b = mesh.vertices[mesh.triangles[tid[0]]]
+            rec_a = batch_w[i] @ corners_a
+            rec_b = w[0] @ corners_b
+            assert np.allclose(rec_a, rec_b, atol=1e-9)
+
+
+class TestInterpolation:
+    def test_linear_field_exact(self, square_mesh):
+        """Barycentric interpolation reproduces linear fields exactly."""
+        f = 2.0 * square_mesh.vertices[:, 0] - 3.0 * square_mesh.vertices[:, 1] + 1.0
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0.1, 0.9, size=(100, 2))
+        vals = interpolate_at_points(square_mesh, f, pts)
+        expect = 2.0 * pts[:, 0] - 3.0 * pts[:, 1] + 1.0
+        assert np.allclose(vals, expect, atol=1e-9)
+
+    def test_field_length_mismatch(self, square_mesh):
+        with pytest.raises(MeshError):
+            interpolate_at_points(square_mesh, np.zeros(5), np.zeros((1, 2)))
+
+    def test_grid_shape_and_bounds(self, square_mesh):
+        f = square_mesh.vertices[:, 0]
+        g = interpolate_to_grid(square_mesh, f, (16, 32))
+        assert g.shape == (16, 32)
+        assert g[:, 0] == pytest.approx(0.0, abs=1e-9)
+        assert g[:, -1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_grid_explicit_bounds(self, square_mesh):
+        f = square_mesh.vertices[:, 1]
+        lo = np.array([0.25, 0.25])
+        hi = np.array([0.75, 0.75])
+        g = interpolate_to_grid(square_mesh, f, (8, 8), bounds=(lo, hi))
+        assert g.min() == pytest.approx(0.25, abs=1e-9)
+        assert g.max() == pytest.approx(0.75, abs=1e-9)
+
+    def test_tiny_grid_rejected(self, square_mesh):
+        with pytest.raises(MeshError):
+            interpolate_to_grid(square_mesh, square_mesh.vertices[:, 0], (1, 8))
+
+    def test_locator_reuse(self, square_mesh):
+        loc = TriangleLocator(square_mesh)
+        f = square_mesh.vertices[:, 0]
+        a = interpolate_at_points(square_mesh, f, np.array([[0.5, 0.5]]))
+        b = interpolate_at_points(
+            square_mesh, f, np.array([[0.5, 0.5]]), locator=loc
+        )
+        assert a == pytest.approx(b)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.mesh.triangle_mesh."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh import TriangleMesh
+from repro.mesh.generators import annulus, disk, structured_rectangle
+
+
+@pytest.fixture
+def unit_square():
+    verts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    tris = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangleMesh(verts, tris)
+
+
+class TestConstruction:
+    def test_counts(self, unit_square):
+        assert unit_square.num_vertices == 4
+        assert unit_square.num_triangles == 2
+        assert unit_square.num_edges == 5
+
+    def test_vertices_readonly(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.vertices[0, 0] = 99.0
+
+    def test_triangles_readonly(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.triangles[0, 0] = 3
+
+    def test_bad_vertex_shape(self):
+        with pytest.raises(MeshError):
+            TriangleMesh(np.zeros((4, 3)), np.array([[0, 1, 2]]))
+
+    def test_bad_triangle_shape(self):
+        with pytest.raises(MeshError):
+            TriangleMesh(np.zeros((4, 2)), np.array([[0, 1, 2, 3]]))
+
+    def test_out_of_range_index(self):
+        with pytest.raises(MeshError):
+            TriangleMesh(np.zeros((3, 2)), np.array([[0, 1, 5]]))
+
+    def test_degenerate_triangle_rejected(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(MeshError):
+            TriangleMesh(verts, np.array([[0, 1, 1]]))
+
+    def test_duplicate_triangle_rejected(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(MeshError):
+            TriangleMesh(verts, np.array([[0, 1, 2], [2, 0, 1]]))
+
+    def test_orientation_normalized_ccw(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        cw = np.array([[0, 2, 1]])  # clockwise
+        mesh = TriangleMesh(verts, cw)
+        p = mesh.vertices[mesh.triangles[0]]
+        signed = (p[1, 0] - p[0, 0]) * (p[2, 1] - p[0, 1]) - (
+            p[1, 1] - p[0, 1]
+        ) * (p[2, 0] - p[0, 0])
+        assert signed > 0
+
+    def test_empty_mesh_allowed(self):
+        mesh = TriangleMesh(np.zeros((0, 2)), np.zeros((0, 3), dtype=int))
+        assert mesh.num_vertices == 0
+        assert mesh.num_triangles == 0
+
+
+class TestConnectivity:
+    def test_edges_unique_sorted(self, unit_square):
+        e = unit_square.edges
+        assert np.all(e[:, 0] < e[:, 1])
+        assert len(np.unique(e, axis=0)) == len(e)
+
+    def test_boundary_edges_square(self, unit_square):
+        # 4 outer edges on the boundary, 1 interior diagonal
+        assert len(unit_square.boundary_edges) == 4
+
+    def test_boundary_vertices(self, unit_square):
+        assert list(unit_square.boundary_vertices) == [0, 1, 2, 3]
+
+    def test_vertex_neighbors(self, unit_square):
+        assert set(unit_square.vertex_neighbors(0)) == {1, 2, 3}
+        assert set(unit_square.vertex_neighbors(1)) == {0, 2}
+
+    def test_adjacency_symmetric(self):
+        mesh = disk(200, seed=0)
+        indptr, indices = mesh.vertex_adjacency()
+        for i in range(mesh.num_vertices):
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                assert i in mesh.vertex_neighbors(int(j))
+
+    def test_triangles_of_vertex(self, unit_square):
+        assert set(unit_square.triangles_of_vertex(0)) == {0, 1}
+        assert set(unit_square.triangles_of_vertex(1)) == {0}
+
+    def test_is_edge(self, unit_square):
+        assert unit_square.is_edge(0, 2)  # diagonal
+        assert not unit_square.is_edge(1, 3)
+
+    def test_euler_characteristic_disk_topology(self):
+        mesh = disk(500, seed=1)
+        assert mesh.euler_characteristic() == 1
+
+    def test_euler_characteristic_annulus_topology(self):
+        mesh = annulus(10, 32)
+        assert mesh.euler_characteristic() == 0
+
+
+class TestGeometry:
+    def test_edge_lengths(self, unit_square):
+        lengths = unit_square.edge_lengths()
+        assert lengths.min() == pytest.approx(1.0)
+        assert lengths.max() == pytest.approx(np.sqrt(2.0))
+
+    def test_triangle_areas_sum(self, unit_square):
+        assert unit_square.total_area() == pytest.approx(1.0)
+
+    def test_triangle_areas_positive(self):
+        mesh = structured_rectangle(10, 10, jitter=0.3, seed=2)
+        assert (mesh.triangle_areas() > 0).all()
+
+    def test_centroids(self, unit_square):
+        c = unit_square.triangle_centroids()
+        assert c.shape == (2, 2)
+        assert np.allclose(c[0], [2.0 / 3.0, 1.0 / 3.0])
+
+    def test_bounding_box(self, unit_square):
+        lo, hi = unit_square.bounding_box()
+        assert np.allclose(lo, [0, 0]) and np.allclose(hi, [1, 1])
+
+    def test_bounding_box_empty_raises(self):
+        mesh = TriangleMesh(np.zeros((0, 2)), np.zeros((0, 3), dtype=int))
+        with pytest.raises(MeshError):
+            mesh.bounding_box()
+
+
+class TestUtilities:
+    def test_compact_drops_unused(self):
+        verts = np.array([[0.0, 0.0], [9.0, 9.0], [1.0, 0.0], [0.0, 1.0]])
+        tris = np.array([[0, 2, 3]])
+        mesh = TriangleMesh(verts, tris)
+        compacted, index_map = mesh.compact()
+        assert compacted.num_vertices == 3
+        assert index_map[1] == -1
+        assert compacted.total_area() == pytest.approx(mesh.total_area())
+
+    def test_compact_with_field(self):
+        verts = np.array([[0.0, 0.0], [9.0, 9.0], [1.0, 0.0], [0.0, 1.0]])
+        tris = np.array([[0, 2, 3]])
+        field = np.array([10.0, 20.0, 30.0, 40.0])
+        mesh = TriangleMesh(verts, tris)
+        compacted, _, new_field = mesh.compact(field)
+        assert list(new_field) == [10.0, 30.0, 40.0]
+
+    def test_compact_field_length_mismatch(self, unit_square):
+        with pytest.raises(MeshError):
+            unit_square.compact(np.zeros(3))
+
+    def test_copy_independent(self, unit_square):
+        cp = unit_square.copy()
+        assert cp == unit_square
+        assert cp is not unit_square
+
+    def test_equality(self, unit_square):
+        other = TriangleMesh(
+            unit_square.vertices.copy(), unit_square.triangles.copy()
+        )
+        assert unit_square == other
+        assert unit_square != disk(10, seed=0)
+
+    def test_repr(self, unit_square):
+        assert "num_vertices=4" in repr(unit_square)
+
+    def test_iter_triangles(self, unit_square):
+        tris = list(unit_square)
+        assert len(tris) == 2

@@ -1,0 +1,197 @@
+"""Tests for the synthetic datasets and the performance models."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import BlobDetectorParams, RasterSpec, detect_blobs, rasterize
+from repro.errors import ReproError
+from repro.perfmodel import (
+    SCENARIOS,
+    TREND,
+    model_write_breakdown,
+    scenario,
+    storage_to_compute_series,
+)
+from repro.perfmodel.scenarios import StorageComputeScenario
+from repro.simulations import (
+    SyntheticDataset,
+    dataset_names,
+    make_cfd,
+    make_dataset,
+    make_genasis,
+    make_xgc1,
+)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["cfd", "genasis", "xgc1"]
+
+    def test_make_by_name(self):
+        ds = make_dataset("xgc1", scale=0.05)
+        assert ds.name == "xgc1"
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            make_dataset("lhc")
+
+
+class TestXGC1:
+    def test_paper_scale_size(self):
+        ds = make_xgc1(scale=1.0)
+        # Paper: 20,694 vertices / 41,087 triangles (±few %).
+        assert abs(ds.mesh.num_vertices - 20694) / 20694 < 0.05
+        assert abs(ds.mesh.num_triangles - 41087) / 41087 < 0.05
+        assert ds.variable == "dpot"
+
+    def test_annulus_topology(self):
+        ds = make_xgc1(scale=0.1)
+        assert ds.mesh.euler_characteristic() == 0
+
+    def test_blobs_detectable(self):
+        ds = make_xgc1(scale=0.5, n_blobs=6, seed=3)
+        spec = RasterSpec.from_reference(ds.mesh, ds.field, (256, 256))
+        img = rasterize(ds.mesh, ds.field, spec)
+        blobs = detect_blobs(img, BlobDetectorParams(10, 200, min_area=100))
+        assert len(blobs) >= 4  # most seeded blobs are found
+
+    def test_deterministic(self):
+        a = make_xgc1(scale=0.1, seed=5)
+        b = make_xgc1(scale=0.1, seed=5)
+        assert np.array_equal(a.field, b.field)
+
+    def test_seed_changes_field(self):
+        a = make_xgc1(scale=0.1, seed=5)
+        b = make_xgc1(scale=0.1, seed=6)
+        assert not np.array_equal(a.field, b.field)
+
+    def test_summary(self):
+        s = make_xgc1(scale=0.05).summary()
+        assert s["variable"] == "dpot"
+        assert s["vertices"] > 0
+
+
+class TestGenASiS:
+    def test_paper_scale_size(self):
+        ds = make_genasis(scale=1.0)
+        # Paper: 130,050 triangles.
+        assert abs(ds.mesh.num_triangles - 130_050) / 130_050 < 0.05
+
+    def test_magnitude_non_negative(self):
+        ds = make_genasis(scale=0.05)
+        assert (ds.field >= 0).all()
+
+    def test_shock_ring_bright(self):
+        ds = make_genasis(scale=0.2)
+        r = np.hypot(ds.mesh.vertices[:, 0], ds.mesh.vertices[:, 1])
+        on_ring = np.abs(r - 0.55) < 0.05
+        far = r > 0.85
+        assert ds.field[on_ring].mean() > 3 * ds.field[far].mean()
+
+
+class TestCFD:
+    def test_paper_scale_size(self):
+        ds = make_cfd(scale=1.0)
+        # Paper: 12,577 triangles (body cutout makes counts less exact).
+        assert abs(ds.mesh.num_triangles - 12_577) / 12_577 < 0.10
+
+    def test_stagnation_pressure_at_leading_edge(self):
+        ds = make_cfd(scale=0.5)
+        v = ds.mesh.vertices
+        # Leading edge: just upstream of the body center.
+        near_nose = (
+            (np.abs(v[:, 1] - 1.0) < 0.1)
+            & (v[:, 0] < 1.2 * 0.3 * 4.0)
+            & (v[:, 0] > 0.5)
+        )
+        far = v[:, 0] > 3.5
+        assert ds.field[near_nose].max() > ds.field[far].mean() + 1000
+
+    def test_suction_below_freestream(self):
+        ds = make_cfd(scale=0.5, p_inf=100_000.0, dynamic_pressure=5_000.0)
+        assert ds.field.min() < 100_000.0 - 2_000.0
+
+
+class TestDatasetValidation:
+    def test_field_length_checked(self):
+        ds = make_xgc1(scale=0.05)
+        with pytest.raises(ReproError):
+            SyntheticDataset("x", "v", ds.mesh, np.zeros(3))
+
+
+class TestTrend:
+    def test_series_decreasing(self):
+        """Fig. 6a: the storage-to-compute ratio falls monotonically."""
+        series = storage_to_compute_series()
+        values = [v for _, v in series]
+        assert values == sorted(values, reverse=True)
+        assert values[0] / values[-1] > 10  # order-of-magnitude decline
+
+    def test_years_ordered(self):
+        years = [m.year for m in TREND]
+        assert years == sorted(years)
+        assert years[0] == 2009
+
+
+class TestScenarios:
+    def test_paper_core_counts(self):
+        assert SCENARIOS["high"].cores == 32
+        assert SCENARIOS["medium"].cores == 128
+        assert SCENARIOS["low"].cores == 512
+
+    def test_storage_to_compute_ordering(self):
+        assert (
+            SCENARIOS["high"].storage_to_compute
+            > SCENARIOS["medium"].storage_to_compute
+            > SCENARIOS["low"].storage_to_compute
+        )
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ReproError):
+            scenario("mystery")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            StorageComputeScenario("bad", cores=0)
+
+
+class TestWriteBreakdown:
+    def make_report(self):
+        from repro.core.encoder import EncodeReport
+        from repro.core.notation import LevelScheme
+
+        report = EncodeReport(
+            var="dpot", scheme=LevelScheme(3), original_bytes=165_000
+        )
+        report.decimation_seconds = 0.08
+        report.delta_seconds = 0.05
+        report.compress_seconds = 0.02
+        report.compressed_bytes = {"dpot/L2": 10_000, "dpot/delta0-1": 30_000}
+        return report
+
+    def test_io_fraction_grows_with_cores(self):
+        """The Fig. 6b shape: low storage-to-compute ⇒ I/O-bound."""
+        report = self.make_report()
+        fracs = {
+            name: model_write_breakdown(report, sc).fractions()["io"]
+            for name, sc in SCENARIOS.items()
+        }
+        assert fracs["high"] < fracs["medium"] < fracs["low"]
+
+    def test_compute_phases_scenario_invariant(self):
+        report = self.make_report()
+        a = model_write_breakdown(report, SCENARIOS["high"])
+        b = model_write_breakdown(report, SCENARIOS["low"])
+        assert a.decimation_seconds == b.decimation_seconds
+        assert a.delta_compress_seconds == b.delta_compress_seconds
+
+    def test_fractions_sum_to_one(self):
+        report = self.make_report()
+        fr = model_write_breakdown(report, SCENARIOS["medium"]).fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_rejected(self):
+        from repro.perfmodel.writecost import WriteBreakdown
+
+        with pytest.raises(ReproError):
+            WriteBreakdown("x", 0.0, 0.0, 0.0).fractions()

@@ -1,0 +1,136 @@
+"""Tests for ZFP fixed-rate mode and vertex-ordering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec
+from repro.errors import CompressionError, MeshError
+from repro.mesh.generators import annulus, disk
+from repro.mesh.ordering import inverse_permutation, vertex_ordering
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(1)
+    x = np.linspace(0, 25, 16384)
+    return np.sin(x) * np.exp(-0.02 * x) + rng.normal(0, 0.05, x.size)
+
+
+class TestFixedRate:
+    def test_budget_respected(self, signal):
+        for rate in (4, 8, 16, 32):
+            codec = get_codec("zfp", rate=rate)
+            blob = codec.encode(signal)
+            budget = int(np.ceil(rate * signal.size / 8))
+            # Envelope header adds a constant ~16 bytes on top of the body.
+            assert len(blob) <= budget + 32
+
+    def test_error_shrinks_with_rate(self, signal):
+        errors = []
+        for rate in (2, 4, 8, 16, 32):
+            codec = get_codec("zfp", rate=rate)
+            out = codec.decode(codec.encode(signal))
+            errors.append(np.abs(out - signal).max())
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-4 * np.ptp(signal)
+
+    def test_rate_overrides_tolerance(self, signal):
+        tight = get_codec("zfp", tolerance=1e-12, rate=4)
+        blob = tight.encode(signal)
+        assert len(blob) <= 4 * signal.size / 8 + 32
+
+    def test_rate_validation(self):
+        with pytest.raises(CompressionError):
+            get_codec("zfp", rate=0.5)
+        with pytest.raises(CompressionError):
+            get_codec("zfp", rate=65)
+
+    def test_max_error_reporting(self):
+        assert get_codec("zfp", rate=8).max_error() == float("inf")
+        assert get_codec("zfp", tolerance=1e-3).max_error() == 1e-3
+
+    def test_roundtrip_decodes(self, signal):
+        codec = get_codec("zfp", rate=12)
+        out = codec.decode(codec.encode(signal))
+        assert out.shape == signal.shape
+        assert np.isfinite(out).all()
+
+    def test_constant_array(self):
+        codec = get_codec("zfp", rate=8)
+        data = np.full(100, 3.5)
+        assert np.array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_tiny_array_fallback(self):
+        """Headers dominate tiny arrays; encode still succeeds."""
+        codec = get_codec("zfp", rate=1)
+        data = np.array([1.0, 2.0, 3.0])
+        out = codec.decode(codec.encode(data))
+        assert out.shape == (3,)
+
+    def test_smooth_needs_fewer_bits_for_same_error(self):
+        x = np.linspace(0, 10, 8192)
+        smooth = np.sin(x)
+        rng = np.random.default_rng(0)
+        rough = smooth + rng.normal(0, 0.3, x.size)
+        for rate in (6,):
+            codec = get_codec("zfp", rate=rate)
+            es = np.abs(codec.decode(codec.encode(smooth)) - smooth).max()
+            er = np.abs(codec.decode(codec.encode(rough)) - rough).max()
+            assert es < er
+
+
+class TestVertexOrdering:
+    @pytest.mark.parametrize("method", ["identity", "bfs", "rcm", "spatial"])
+    def test_valid_permutation(self, method):
+        mesh = disk(500, seed=0)
+        perm = vertex_ordering(mesh, method)
+        assert sorted(perm) == list(range(mesh.num_vertices))
+
+    def test_identity(self):
+        mesh = disk(100, seed=1)
+        assert np.array_equal(
+            vertex_ordering(mesh, "identity"), np.arange(100)
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(MeshError):
+            vertex_ordering(disk(50, seed=2), "alphabetical")
+
+    def test_inverse_permutation(self):
+        mesh = disk(300, seed=3)
+        perm = vertex_ordering(mesh, "spatial")
+        inv = inverse_permutation(perm)
+        field = np.arange(300, dtype=float)
+        assert np.array_equal(field[perm][inv], field)
+
+    def test_bfs_neighbors_stay_close(self):
+        """BFS order keeps mesh neighbors nearby in storage order."""
+        mesh = annulus(15, 40)
+        perm = vertex_ordering(mesh, "bfs")
+        pos = inverse_permutation(perm)
+        e = mesh.edges
+        gaps = np.abs(pos[e[:, 0]] - pos[e[:, 1]])
+        # Mean storage-order gap across edges is far below random (~n/3).
+        assert gaps.mean() < mesh.num_vertices / 10
+
+    def test_spatial_order_is_spatially_coherent(self):
+        mesh = disk(1000, seed=4)
+        perm = vertex_ordering(mesh, "spatial")
+        pts = mesh.vertices[perm]
+        steps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        rng = np.random.default_rng(0)
+        random_pts = mesh.vertices[rng.permutation(1000)]
+        random_steps = np.linalg.norm(np.diff(random_pts, axis=0), axis=1)
+        assert steps.mean() < 0.5 * random_steps.mean()
+
+    def test_empty_mesh(self):
+        from repro.mesh import TriangleMesh
+
+        mesh = TriangleMesh(np.zeros((0, 2)), np.zeros((0, 3), dtype=int))
+        assert len(vertex_ordering(mesh, "rcm")) == 0
+
+    def test_rcm_is_reversed_bfs(self):
+        mesh = disk(200, seed=5)
+        bfs = vertex_ordering(mesh, "bfs")
+        rcm = vertex_ordering(mesh, "rcm")
+        assert np.array_equal(rcm, bfs[::-1])

@@ -17,7 +17,8 @@ user-facing API; subsystems live in their own subpackages:
 
 __version__ = "1.0.0"
 
-from repro import errors
+from repro import api, errors
+from repro.api import open_dataset, read_progressive, write_campaign
 from repro.core import (
     CanopusDecoder,
     CanopusEncoder,
@@ -28,8 +29,12 @@ from repro.io import BPDataset, parse_config
 from repro.storage import StorageHierarchy, StorageTier, two_tier_titan
 
 __all__ = [
+    "api",
     "errors",
     "__version__",
+    "open_dataset",
+    "write_campaign",
+    "read_progressive",
     "LevelScheme",
     "CanopusEncoder",
     "CanopusDecoder",

@@ -135,7 +135,7 @@ def baseline_full_read(
     restoration phases.
     """
     from repro.compress import decode_auto
-    from repro.io.api import BPDataset
+    from repro.io.dataset import BPDataset
     from repro.mesh.io import mesh_from_bytes
 
     ds = BPDataset.open(dataset_name, hierarchy)

@@ -1,0 +1,162 @@
+"""Unified public façade for the Canopus reproduction.
+
+One blessed import surface for the common workflows::
+
+    from repro.api import open_dataset, write_campaign, read_progressive
+
+* :func:`open_dataset` — open (or create) a :class:`~repro.io.dataset.BPDataset`
+  backed by the concurrent retrieval engine (tiered LRU range cache +
+  prefetch);
+* :func:`write_campaign` — Canopus-encode a timestep series of one
+  variable with shared geometry;
+* :func:`read_progressive` — a pipelined :class:`~repro.core.progressive.
+  ProgressiveReader` that overlaps tier I/O with decompress/apply.
+
+The classes behind these helpers are re-exported here too, so
+``repro.api`` is a stable one-stop namespace; the historical deep import
+paths (``repro.io.api`` etc.) keep working through deprecation shims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.campaign import CampaignReader, CampaignWriter, StepReport
+from repro.core.decoder import CanopusDecoder, LevelData
+from repro.core.encoder import CanopusEncoder
+from repro.core.notation import LevelScheme
+from repro.core.parallel import PartitionedDecoder, encode_partitioned
+from repro.core.progressive import ProgressiveReader
+from repro.errors import BPFormatError, CanopusError
+from repro.io.cache import RangeCache
+from repro.io.dataset import BPDataset
+from repro.io.engine import EngineStats, RetrievalEngine
+from repro.io.xmlconfig import parse_config
+from repro.mesh.triangle_mesh import TriangleMesh
+from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
+
+__all__ = [
+    # helpers (the blessed entry points)
+    "open_dataset",
+    "write_campaign",
+    "read_progressive",
+    # re-exported building blocks
+    "BPDataset",
+    "CampaignReader",
+    "CampaignWriter",
+    "CanopusDecoder",
+    "CanopusEncoder",
+    "EngineStats",
+    "LevelData",
+    "LevelScheme",
+    "PartitionedDecoder",
+    "ProgressiveReader",
+    "RangeCache",
+    "RetrievalEngine",
+    "StepReport",
+    "StorageHierarchy",
+    "TriangleMesh",
+    "encode_partitioned",
+    "parse_config",
+    "two_tier_titan",
+]
+
+
+def open_dataset(
+    name: str,
+    hierarchy: StorageHierarchy,
+    *,
+    mode: str = "r",
+    transports=None,
+    verify_checksums: bool = True,
+    cache_bytes: int = 64 << 20,
+    workers: int = 4,
+) -> BPDataset:
+    """Open (``mode="r"``) or create (``mode="w"``) a BP dataset.
+
+    Every read goes through the dataset's retrieval engine: checksum
+    verification, a ``cache_bytes``-budgeted LRU range cache, and up to
+    ``workers`` concurrent range fetches for batched/prefetched reads.
+    """
+    if mode not in ("r", "w"):
+        raise BPFormatError(f"mode must be 'r' or 'w', not {mode!r}")
+    return BPDataset(
+        name,
+        hierarchy,
+        mode=mode,
+        transports=transports,
+        verify_checksums=verify_checksums,
+        cache_bytes=cache_bytes,
+        workers=workers,
+    )
+
+
+def write_campaign(
+    hierarchy: StorageHierarchy,
+    name: str,
+    var: str,
+    mesh: TriangleMesh,
+    steps: Mapping[int, np.ndarray] | Iterable[np.ndarray],
+    scheme: LevelScheme,
+    *,
+    codec: str = "zfp",
+    codec_params: dict | None = None,
+    estimator: str = "mean",
+    priority: str = "length",
+) -> list[StepReport]:
+    """Canopus-encode a timestep series and flush it to the hierarchy.
+
+    ``steps`` is either a mapping ``{step: field}`` or an iterable of
+    fields (implicitly steps ``0, 1, ...``). Geometry (mesh chain +
+    mappings) is refactored and stored once and shared by every step.
+    Returns the per-step write reports; the dataset is closed (subfiles
+    + catalog flushed) before returning.
+    """
+    if isinstance(steps, Mapping):
+        items = sorted(steps.items())
+    else:
+        items = list(enumerate(steps))
+    if not items:
+        raise CanopusError("write_campaign needs at least one timestep")
+    writer = CampaignWriter(
+        hierarchy,
+        name,
+        var,
+        mesh,
+        scheme,
+        codec=codec,
+        codec_params=codec_params,
+        estimator=estimator,
+        priority=priority,
+    )
+    try:
+        reports = [writer.write_step(step, data) for step, data in items]
+    finally:
+        writer.close()
+    return reports
+
+
+def read_progressive(
+    dataset: BPDataset | CanopusDecoder,
+    var: str,
+    *,
+    pipeline: bool = True,
+    lookahead: int = 2,
+) -> ProgressiveReader:
+    """Progressive (level-by-level) reader for one variable.
+
+    Accepts an open dataset or an existing decoder. Pipelining is on by
+    default: upcoming levels' byte ranges are prefetched through the
+    retrieval engine while the current level decompresses, overlapping
+    tier I/O with compute; restored fields stay bit-identical to the
+    serial path.
+    """
+    decoder = (
+        dataset if isinstance(dataset, CanopusDecoder)
+        else CanopusDecoder(dataset)
+    )
+    return ProgressiveReader(
+        decoder, var, pipeline=pipeline, lookahead=lookahead
+    )

@@ -8,7 +8,7 @@ The encoder drives one variable through the full pipeline:
    floating-point codec; mappings and mesh geometry are stored
    losslessly (deflate);
 3. everything is written through an ADIOS-like
-   :class:`~repro.io.api.BPDataset` with preferred tiers from
+   :class:`~repro.io.dataset.BPDataset` with preferred tiers from
    :func:`~repro.core.plan.plan_placement` (base on the fastest tier,
    deltas descending), subject to the capacity-bypass rule.
 
@@ -37,7 +37,7 @@ from repro.core.notation import (
 from repro.core.plan import plan_placement
 from repro.core.refactor import RefactorResult, refactor
 from repro.errors import CanopusError
-from repro.io.api import BPDataset
+from repro.io.dataset import BPDataset
 from repro.io.transports import Transport
 from repro.mesh.io import mesh_to_bytes
 from repro.mesh.triangle_mesh import TriangleMesh

@@ -21,7 +21,7 @@ from repro.core import (
     RefactorResult,
 )
 from repro.core.notation import level_key, mesh_key
-from repro.io.api import BPDataset
+from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_to_bytes
 from repro.simulations import SyntheticDataset, make_dataset
 from repro.storage import StorageHierarchy, two_tier_titan

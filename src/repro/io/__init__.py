@@ -6,12 +6,16 @@ interface" (paper §III-A). This subpackage reproduces the layers Canopus
 relies on: a metadata-rich binary-packed container
 (:mod:`~repro.io.bp`), a global catalog (:mod:`~repro.io.metadata`),
 per-tier transport methods (:mod:`~repro.io.transports`), the dataset
-write/query/read API (:mod:`~repro.io.api`), and ADIOS-style XML
+write/query/read API (:mod:`~repro.io.dataset`), the concurrent
+retrieval engine (:mod:`~repro.io.engine`) with its range cache
+(:mod:`~repro.io.cache`), and ADIOS-style XML
 configuration (:mod:`~repro.io.xmlconfig`).
 """
 
-from repro.io.api import BPDataset
 from repro.io.bp import BPReader, BPWriter
+from repro.io.cache import CacheEntry, RangeCache
+from repro.io.dataset import BPDataset
+from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.metadata import Catalog, VariableRecord
 from repro.io.fsck import CheckResult, check_dataset
 from repro.io.query import ChunkStats, QueryEngine, attach_stats
@@ -26,6 +30,10 @@ from repro.io.xmlconfig import CanopusConfig, parse_config, parse_size
 
 __all__ = [
     "BPDataset",
+    "RangeCache",
+    "CacheEntry",
+    "RetrievalEngine",
+    "EngineStats",
     "BPReader",
     "BPWriter",
     "Catalog",

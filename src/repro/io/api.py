@@ -1,205 +1,21 @@
-"""ADIOS-like dataset API: declarative write / query / read.
+"""Deprecated import path — use :mod:`repro.api` (or :mod:`repro.io.dataset`).
 
-This is the interface Canopus plugs into (paper Fig. 2): simulations use
-the *write* side, analytics use the *query + read* side, and neither
-needs to know which tier holds which product.
-
-Write path::
-
-    ds = BPDataset.create("run42", hierarchy)
-    ds.write("dpot/L2", payload, kind="base", level=2, preferred_tier=0)
-    ds.close()                      # flushes subfiles + catalog
-
-Read path::
-
-    ds = BPDataset.open("run42", hierarchy)
-    info = ds.inq("dpot/L2")        # adios_inq_var equivalent
-    payload = ds.read("dpot/L2")    # charged only for this variable's bytes
-
-Each tier receives one BP subfile per dataset; the catalog (global
-metadata) lives on the slowest tier, which every job can reach.
+The dataset class moved to :mod:`repro.io.dataset` when the unified
+:mod:`repro.api` façade became the supported public surface. This shim
+keeps ``from repro.io.api import BPDataset`` working for one release.
 """
 
 from __future__ import annotations
 
-import zlib
+import warnings
 
-from repro.errors import BPFormatError, StorageError
-from repro.io.bp import BPWriter
-from repro.io.metadata import Catalog, VariableRecord
-from repro.io.transports import PosixTransport, Transport
-from repro.storage.hierarchy import StorageHierarchy
+from repro.io.dataset import BPDataset
 
 __all__ = ["BPDataset"]
 
-
-class BPDataset:
-    """Handle to one logical dataset spread across storage tiers."""
-
-    def __init__(
-        self,
-        name: str,
-        hierarchy: StorageHierarchy,
-        mode: str,
-        transports: dict[str, Transport] | None = None,
-    ) -> None:
-        if mode not in ("w", "r"):
-            raise BPFormatError(f"mode must be 'w' or 'r', not {mode!r}")
-        self.name = name
-        self.hierarchy = hierarchy
-        self.mode = mode
-        self.transports = transports or {
-            t.name: PosixTransport(t) for t in hierarchy
-        }
-        self.catalog = Catalog(name)
-        self._writers: dict[str, BPWriter] = {}
-        self._closed = False
-        if mode == "r":
-            self._load_catalog()
-
-    # ------------------------------------------------------------------
-    @classmethod
-    def create(
-        cls,
-        name: str,
-        hierarchy: StorageHierarchy,
-        transports: dict[str, Transport] | None = None,
-    ) -> "BPDataset":
-        return cls(name, hierarchy, "w", transports)
-
-    @classmethod
-    def open(
-        cls,
-        name: str,
-        hierarchy: StorageHierarchy,
-        transports: dict[str, Transport] | None = None,
-    ) -> "BPDataset":
-        return cls(name, hierarchy, "r", transports)
-
-    # -- paths -----------------------------------------------------------
-    def _subfile(self, tier_name: str) -> str:
-        return f"{self.name}.{tier_name}.bp"
-
-    def _catalog_path(self) -> str:
-        return f"{self.name}.catalog.json"
-
-    # -- write side -------------------------------------------------------
-    def write(
-        self,
-        key: str,
-        payload: bytes,
-        *,
-        kind: str = "var",
-        level: int = -1,
-        count: int = 0,
-        codec: str = "",
-        preferred_tier: int = 0,
-        attrs: dict | None = None,
-    ) -> VariableRecord:
-        """Buffer one variable payload for the preferred tier.
-
-        The actual tier is chosen by walking down from
-        ``preferred_tier`` and skipping tiers whose *remaining* capacity
-        (free minus already-buffered bytes) cannot hold the payload —
-        the paper's bypass rule, applied against the post-flush state.
-        """
-        if self.mode != "w":
-            raise BPFormatError("dataset is open read-only")
-        if self._closed:
-            raise BPFormatError("dataset already closed")
-        tier = self._choose_tier(len(payload), preferred_tier)
-        writer = self._writers.setdefault(tier, BPWriter())
-        offset, length = writer.add(key, payload)
-        record = VariableRecord(
-            key=key,
-            tier=tier,
-            subfile=self._subfile(tier),
-            offset=offset,
-            length=length,
-            codec=codec,
-            kind=kind,
-            level=level,
-            count=count,
-            checksum=zlib.crc32(payload) & 0xFFFFFFFF,
-            attrs=attrs or {},
-        )
-        self.catalog.add(record)
-        return record
-
-    def _choose_tier(self, nbytes: int, preferred_index: int) -> str:
-        for tier in self.hierarchy.tiers[preferred_index:]:
-            buffered = (
-                self._writers[tier.name].nbytes
-                if tier.name in self._writers
-                else 0
-            )
-            if tier.free_bytes - buffered >= nbytes + _FOOTER_SLACK:
-                return tier.name
-        raise StorageError(
-            f"no tier at index >= {preferred_index} can hold {nbytes} bytes"
-        )
-
-    def close(self) -> None:
-        """Flush all subfiles through their transports + write the catalog."""
-        if self.mode != "w" or self._closed:
-            self._closed = True
-            return
-        for tier_name, writer in sorted(self._writers.items()):
-            transport = self.transports[tier_name]
-            transport.write(
-                self._subfile(tier_name), writer.finalize(), f"{self.name}:subfile"
-            )
-        slow = self.hierarchy.slowest
-        self.transports[slow.name].write(
-            self._catalog_path(), self.catalog.to_json(), f"{self.name}:catalog"
-        )
-        self._closed = True
-
-    def __enter__(self) -> "BPDataset":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- read side ---------------------------------------------------------
-    def _load_catalog(self) -> None:
-        slow = self.hierarchy.slowest
-        blob = self.transports[slow.name].read(
-            self._catalog_path(), f"{self.name}:catalog"
-        )
-        self.catalog = Catalog.from_json(blob)
-
-    def keys(self) -> list[str]:
-        return self.catalog.keys()
-
-    def inq(self, key: str) -> VariableRecord:
-        """ADIOS ``adios_inq_var`` equivalent: metadata without data."""
-        return self.catalog.get(key)
-
-    def read(self, key: str) -> bytes:
-        """Fetch exactly one variable's bytes from its tier.
-
-        The catalog records the tier at write time; if the subfile has
-        since been migrated/evicted by a tier-management policy, the
-        current hierarchy location wins (byte offsets are unchanged —
-        migration moves whole subfiles).
-        """
-        rec = self.catalog.get(key)
-        tier_name = rec.tier
-        if not self.hierarchy.tier(tier_name).exists(rec.subfile):
-            current = self.hierarchy.locate(rec.subfile)
-            if current is None:
-                raise StorageError(
-                    f"subfile {rec.subfile!r} not found on any tier"
-                )
-            tier_name = current.name
-        transport = self.transports[tier_name]
-        return transport.read_range(rec.subfile, rec.offset, rec.length, key)
-
-    def select(self, kind: str | None = None, level: int | None = None):
-        return self.catalog.select(kind=kind, level=level)
-
-
-# Slack reserved per subfile for the footer index + trailer when checking
-# capacity at write time (footers are small JSON documents).
-_FOOTER_SLACK = 16 * 1024
+warnings.warn(
+    "repro.io.api is deprecated; import BPDataset from repro.api "
+    "(preferred) or repro.io.dataset",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,143 @@
+"""Byte-budgeted LRU cache for subfile byte ranges.
+
+Progressive analytics re-read the same products over and over — the
+same base for every refinement chain, the same coarse deltas for every
+parameter-sensitivity pass — and each repeat pays full slow-tier
+latency. The cache front-ends the tiers with analytics-local DRAM:
+entries are keyed by ``(subfile, offset, length)`` (the unit the BP
+catalog addresses), evicted strictly least-recently-used, and bounded
+by a byte budget rather than an entry count because range sizes span
+four orders of magnitude (chunk indices to full base payloads).
+
+The cache is thread-safe: the retrieval engine's worker threads insert
+prefetched ranges while the foreground thread reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheEntry", "RangeCache"]
+
+#: Cache key: (subfile relpath, byte offset, byte length).
+RangeKey = "tuple[str, int, int]"
+
+
+@dataclass
+class CacheEntry:
+    """One cached byte range and where it originally came from."""
+
+    data: bytes
+    tier: str
+    prefetched: bool = False
+
+
+class RangeCache:
+    """LRU mapping ``(subfile, offset, length)`` → bytes, byte-budgeted.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total payload budget. ``0`` disables caching entirely (every
+        ``get`` misses, every ``put`` is dropped) — the opt-out for
+        benchmarks that need cold-read charges.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 << 20) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[tuple[str, int, int], CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, int, int]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: tuple[str, int, int]) -> CacheEntry | None:
+        """Return the entry (refreshing its recency) or None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(
+        self, key: tuple[str, int, int], data: bytes, tier: str, *,
+        prefetched: bool = False,
+    ) -> bool:
+        """Insert a range; returns False when it cannot be cached.
+
+        Ranges larger than the whole budget bypass the cache (caching
+        them would evict everything for one entry that cannot recur
+        cheaply anyway).
+        """
+        nbytes = len(data)
+        if nbytes > self.capacity_bytes:
+            return False
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._used -= len(previous.data)
+            self._entries[key] = CacheEntry(data, tier, prefetched)
+            self._used += nbytes
+            self.insertions += 1
+            while self._used > self.capacity_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._used -= len(victim.data)
+                self.evictions += 1
+            return True
+
+    def invalidate(self, subfile: str | None = None) -> int:
+        """Drop entries (all, or one subfile's); returns the count dropped.
+
+        Tier migration moves whole subfiles with unchanged offsets, so
+        cached bytes stay valid; invalidation is for writers that reuse
+        a dataset name.
+        """
+        with self._lock:
+            if subfile is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._used = 0
+                return dropped
+            victims = [k for k in self._entries if k[0] == subfile]
+            for k in victims:
+                self._used -= len(self._entries.pop(k).data)
+            return len(victims)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "insertions": self.insertions,
+                "entries": len(self._entries),
+                "used_bytes": self._used,
+                "capacity_bytes": self.capacity_bytes,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeCache(entries={len(self._entries)}, "
+            f"used={self._used}/{self.capacity_bytes})"
+        )

@@ -24,7 +24,7 @@ import numpy as np
 from repro.compress import decode_auto
 from repro.core.mapping import LevelMapping
 from repro.errors import ReproError
-from repro.io.api import BPDataset
+from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
 
 __all__ = ["CheckResult", "check_dataset"]
@@ -95,7 +95,10 @@ def check_dataset(dataset: BPDataset) -> CheckResult:
         rec = dataset.inq(key)
         result.checked += 1
         try:
-            blob = dataset.read(key)
+            # Unverified read: the checker wants the corrupt bytes back so
+            # it can classify the damage itself (the normal read path would
+            # raise BPFormatError at the first checksum mismatch).
+            blob = dataset.read(key, verify=False)
         except ReproError as exc:
             result.problems.append((key, f"unreadable: {exc}"))
             continue

@@ -92,9 +92,10 @@ class Catalog:
         return sorted(self.records)
 
     def select(
-        self, kind: str | None = None, level: int | None = None
+        self, *, kind: str | None = None, level: int | None = None
     ) -> list[VariableRecord]:
-        """Filter records by kind and/or level."""
+        """Filter records by kind and/or level (keyword-only, like
+        :meth:`repro.io.dataset.BPDataset.select`)."""
         return [
             r
             for r in self.records.values()

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import VariableNotFoundError
-from repro.io.api import BPDataset
+from repro.io.dataset import BPDataset
 from repro.io.metadata import VariableRecord
 
 __all__ = ["ChunkStats", "QueryEngine", "attach_stats"]

@@ -29,18 +29,30 @@ _GiB = 1024 * _MiB
 
 @dataclass(frozen=True)
 class DeviceModel:
-    """Latency/bandwidth cost model of one storage technology."""
+    """Latency/bandwidth cost model of one storage technology.
+
+    ``streams`` is the device's useful read concurrency: how many
+    independent request streams scale aggregate bandwidth before the
+    device saturates (Lustre stripes across OSTs, DRAM across channels;
+    a single-spindle device stays at 1). The per-``read_seconds`` model
+    is unchanged — concurrency only pays off through
+    :meth:`concurrent_read_seconds`, which the retrieval engine uses for
+    batched range reads.
+    """
 
     name: str
     read_bandwidth: float  # bytes/second
     write_bandwidth: float  # bytes/second
     latency: float  # seconds per operation
+    streams: int = 1  # useful concurrent read streams
 
     def __post_init__(self) -> None:
         if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
             raise StorageError(f"{self.name}: bandwidth must be positive")
         if self.latency < 0:
             raise StorageError(f"{self.name}: latency must be non-negative")
+        if self.streams < 1:
+            raise StorageError(f"{self.name}: streams must be >= 1")
 
     def read_seconds(self, nbytes: int) -> float:
         """Modeled time to read ``nbytes``."""
@@ -50,19 +62,36 @@ class DeviceModel:
         """Modeled time to write ``nbytes``."""
         return self.latency + nbytes / self.write_bandwidth
 
+    def concurrent_read_seconds(self, sizes: "list[int] | tuple[int, ...]") -> float:
+        """Modeled time for a batch of range reads issued concurrently.
+
+        Requests overlap their per-op latency (paid once for the batch)
+        and share the device's aggregate bandwidth, which scales with
+        the number of concurrent requests up to ``streams``. A batch of
+        one degenerates exactly to :meth:`read_seconds`.
+        """
+        if not sizes:
+            return 0.0
+        k = min(len(sizes), self.streams)
+        return self.latency + sum(sizes) / (self.read_bandwidth * k)
+
 
 #: Representative per-process device models (fastest first).
 DEVICE_PRESETS: dict[str, DeviceModel] = {
-    "hbm": DeviceModel("hbm", 16 * _GiB, 12 * _GiB, 0.2e-6),
-    "dram_tmpfs": DeviceModel("dram_tmpfs", 6 * _GiB, 4 * _GiB, 1e-6),
-    "nvram": DeviceModel("nvram", 3 * _GiB, 2 * _GiB, 5e-6),
-    "ssd": DeviceModel("ssd", 1.2 * _GiB, 800 * _MiB, 50e-6),
-    "burst_buffer": DeviceModel("burst_buffer", 1.5 * _GiB, 1 * _GiB, 100e-6),
+    "hbm": DeviceModel("hbm", 16 * _GiB, 12 * _GiB, 0.2e-6, streams=8),
+    "dram_tmpfs": DeviceModel("dram_tmpfs", 6 * _GiB, 4 * _GiB, 1e-6, streams=8),
+    "nvram": DeviceModel("nvram", 3 * _GiB, 2 * _GiB, 5e-6, streams=4),
+    "ssd": DeviceModel("ssd", 1.2 * _GiB, 800 * _MiB, 50e-6, streams=4),
+    "burst_buffer": DeviceModel(
+        "burst_buffer", 1.5 * _GiB, 1 * _GiB, 100e-6, streams=4
+    ),
     # Per-request overhead for large streaming PFS reads with server-side
     # readahead; congested metadata paths can be 10x worse, but the
-    # figures depend on the tier *gap*, not the absolute overhead.
-    "lustre": DeviceModel("lustre", 300 * _MiB, 250 * _MiB, 5e-4),
-    "campaign": DeviceModel("campaign", 50 * _MiB, 40 * _MiB, 20e-3),
+    # figures depend on the tier *gap*, not the absolute overhead. The
+    # 300 MiB/s is a per-stream number; four-way striping is a modest
+    # stripe count for Titan's Lustre.
+    "lustre": DeviceModel("lustre", 300 * _MiB, 250 * _MiB, 5e-4, streams=4),
+    "campaign": DeviceModel("campaign", 50 * _MiB, 40 * _MiB, 20e-3, streams=2),
 }
 
 

@@ -127,6 +127,20 @@ class StorageTier:
         multi-variable subfile without paying for the whole file — the
         metadata-rich-format benefit the paper attributes to ADIOS.
         """
+        data = self.peek_range(relpath, offset, length)
+        seconds = self.device.read_seconds(length)
+        self.clock.charge(self.name, "read", length, seconds, label)
+        return data
+
+    def peek_range(self, relpath: str, offset: int, length: int) -> bytes:
+        """Fetch a byte range *without* charging the simulated clock.
+
+        Thread-safe (no tier state is mutated). This is the retrieval
+        engine's data path: worker threads move the real bytes through
+        ``peek_range`` while the engine charges the clock once per
+        overlapped batch, keeping the accounting deterministic under
+        concurrency.
+        """
         if relpath not in self._files:
             raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
         size = self._files[relpath]
@@ -137,10 +151,7 @@ class StorageTier:
             )
         with open(self._path(relpath), "rb") as fh:
             fh.seek(offset)
-            data = fh.read(length)
-        seconds = self.device.read_seconds(length)
-        self.clock.charge(self.name, "read", length, seconds, label)
-        return data
+            return fh.read(length)
 
     def delete(self, relpath: str) -> None:
         """Remove a file and release its capacity."""

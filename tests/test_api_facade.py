@@ -1,0 +1,179 @@
+"""Tests for the repro.api façade, deprecation shims, and API conformance."""
+
+import importlib
+import pkgutil
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api
+from repro.api import (
+    BPDataset,
+    LevelScheme,
+    open_dataset,
+    read_progressive,
+    write_campaign,
+)
+from repro.errors import BPFormatError, CanopusError
+from repro.mesh.generators import annulus
+from repro.storage import two_tier_titan
+
+
+@pytest.fixture
+def hierarchy(tmp_path):
+    return two_tier_titan(tmp_path, fast_capacity=4 << 20, slow_capacity=1 << 33)
+
+
+@pytest.fixture(scope="module")
+def mesh_and_field():
+    mesh = annulus(30, 90)
+    v = mesh.vertices
+    field = np.sin(2 * v[:, 0]) * np.cos(2 * v[:, 1])
+    return mesh, field
+
+
+class TestOpenDataset:
+    def test_create_and_reopen(self, hierarchy):
+        ds = open_dataset("run", hierarchy, mode="w")
+        assert isinstance(ds, BPDataset)
+        ds.write("k", b"payload")
+        ds.close()
+        rd = open_dataset("run", hierarchy)
+        assert rd.read("k") == b"payload"
+
+    def test_default_mode_is_read(self, hierarchy):
+        open_dataset("x", hierarchy, mode="w").close()
+        ds = open_dataset("x", hierarchy)
+        assert ds.mode == "r"
+
+    def test_bad_mode(self, hierarchy):
+        with pytest.raises(BPFormatError):
+            open_dataset("run", hierarchy, mode="a")
+
+    def test_engine_knobs_forwarded(self, hierarchy):
+        open_dataset("x", hierarchy, mode="w").close()
+        ds = open_dataset("x", hierarchy, cache_bytes=0, workers=2)
+        assert ds.engine.cache.capacity_bytes == 0
+
+
+class TestWriteCampaign:
+    def test_mapping_and_iterable_inputs(self, hierarchy, mesh_and_field):
+        mesh, field = mesh_and_field
+        steps = {0: field, 1: field * 1.1}
+        reports = write_campaign(
+            hierarchy, "camp", "dpot", mesh, steps, LevelScheme(2),
+            codec="zfp", codec_params={"tolerance": 1e-3},
+        )
+        assert [r.step for r in reports] == [0, 1]
+
+        from repro.api import CampaignReader
+
+        reader = CampaignReader(hierarchy, "camp")
+        assert reader.steps == [0, 1]
+        state = reader.restore(1, 0)
+        assert np.allclose(state.field, field * 1.1, atol=1e-2)
+
+    def test_iterable_steps_enumerate(self, tmp_path, mesh_and_field):
+        mesh, field = mesh_and_field
+        h = two_tier_titan(tmp_path / "h")
+        reports = write_campaign(
+            h, "camp", "dpot", mesh, [field, field], LevelScheme(2),
+            codec="zfp", codec_params={"tolerance": 1e-3},
+        )
+        assert [r.step for r in reports] == [0, 1]
+
+    def test_empty_steps_rejected(self, hierarchy, mesh_and_field):
+        mesh, _ = mesh_and_field
+        with pytest.raises(CanopusError):
+            write_campaign(hierarchy, "camp", "dpot", mesh, [], LevelScheme(2))
+
+
+class TestReadProgressive:
+    def test_full_refinement_matches_encoder_input(
+        self, hierarchy, mesh_and_field
+    ):
+        mesh, field = mesh_and_field
+        from repro.api import CanopusEncoder
+
+        enc = CanopusEncoder(
+            hierarchy, codec="zfp", codec_params={"tolerance": 1e-4}
+        )
+        enc.encode("run", "dpot", mesh, field, LevelScheme(3))
+        ds = open_dataset("run", hierarchy)
+        reader = read_progressive(ds, "dpot")
+        assert reader.pipeline  # pipelining on by default via the façade
+        state = reader.refine_until(rms_tolerance=0.0)
+        assert state.level == 0
+        assert np.allclose(state.field, field, atol=1e-3)
+        assert ds.engine_stats().prefetch_issued > 0
+
+    def test_accepts_decoder(self, hierarchy, mesh_and_field):
+        mesh, field = mesh_and_field
+        from repro.api import CanopusDecoder, CanopusEncoder
+
+        enc = CanopusEncoder(
+            hierarchy, codec="zfp", codec_params={"tolerance": 1e-3}
+        )
+        enc.encode("run", "dpot", mesh, field, LevelScheme(2))
+        dec = CanopusDecoder(BPDataset.open("run", hierarchy))
+        reader = read_progressive(dec, "dpot", pipeline=False, lookahead=1)
+        assert reader.decoder is dec
+        assert not reader.pipeline
+
+
+class TestDeprecationShims:
+    def test_old_io_api_import_warns_and_works(self):
+        import repro.io.api  # noqa: F401  (may already be imported)
+
+        importlib.reload(repro.io.api)  # re-trigger the module-level warning
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro.io.api)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert repro.io.api.BPDataset is BPDataset
+
+    def test_old_top_level_exports_still_work(self, hierarchy):
+        # Pre-façade users imported these from the package root.
+        ds = repro.BPDataset.create("run", hierarchy)
+        ds.close()
+        assert repro.ProgressiveReader is not None
+        assert repro.CanopusEncoder is not None
+
+
+class TestAPIConformance:
+    def test_every_facade_symbol_importable(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), f"repro.api.{name} missing"
+            obj = getattr(repro.api, name)
+            assert obj is not None
+
+    def test_facade_all_sorted_within_sections(self):
+        helpers = {"open_dataset", "write_campaign", "read_progressive"}
+        assert helpers <= set(repro.api.__all__)
+
+    def test_every_module_all_matches_exports(self):
+        """Every ``__all__`` across src/repro names real module attributes."""
+        failures = []
+        for info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                module = importlib.import_module(info.name)
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                continue
+            for name in exported:
+                if not hasattr(module, name):
+                    failures.append(f"{info.name}.{name}")
+        assert not failures, f"__all__ names without attributes: {failures}"
+
+    def test_root_namespace_reexports_facade(self):
+        assert repro.open_dataset is open_dataset
+        assert repro.write_campaign is write_campaign
+        assert repro.read_progressive is read_progressive
+        assert "api" in repro.__all__

@@ -83,7 +83,7 @@ class TestBPDataset:
 
     def test_bad_mode(self, hierarchy):
         with pytest.raises(BPFormatError):
-            BPDataset("run", hierarchy, "x")
+            BPDataset("run", hierarchy, mode="x")
 
     def test_missing_variable(self, hierarchy):
         BPDataset.create("run", hierarchy).close()

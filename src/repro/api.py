@@ -10,7 +10,10 @@ One blessed import surface for the common workflows::
 * :func:`write_campaign` — Canopus-encode a timestep series of one
   variable with shared geometry;
 * :func:`read_progressive` — a pipelined :class:`~repro.core.progressive.
-  ProgressiveReader` that overlaps tier I/O with decompress/apply.
+  ProgressiveReader` that overlaps tier I/O with decompress/apply;
+* :func:`trace_session` — dual-clock tracing (wall + simulated I/O
+  time) of everything executed inside the ``with`` block, exportable as
+  Chrome trace-event JSON (see :mod:`repro.obs`).
 
 The classes behind these helpers are re-exported here too, so
 ``repro.api`` is a stable one-stop namespace; the historical deep import
@@ -35,6 +38,7 @@ from repro.io.dataset import BPDataset
 from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.xmlconfig import parse_config
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import MetricsRegistry, Tracer, get_registry, trace_session
 from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "open_dataset",
     "write_campaign",
     "read_progressive",
+    "trace_session",
     # re-exported building blocks
     "BPDataset",
     "CampaignReader",
@@ -51,14 +56,17 @@ __all__ = [
     "EngineStats",
     "LevelData",
     "LevelScheme",
+    "MetricsRegistry",
     "PartitionedDecoder",
     "ProgressiveReader",
     "RangeCache",
     "RetrievalEngine",
     "StepReport",
     "StorageHierarchy",
+    "Tracer",
     "TriangleMesh",
     "encode_partitioned",
+    "get_registry",
     "parse_config",
     "two_tier_titan",
 ]

@@ -19,6 +19,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import CompressionError, UnknownCodecError
+from repro.obs import trace
 
 __all__ = [
     "Compressor",
@@ -49,6 +50,24 @@ class Compressor(ABC):
     # -- envelope -------------------------------------------------------
     def encode(self, data: np.ndarray) -> bytes:
         """Compress a 1-D float array into a self-describing payload."""
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._encode(data)
+        arr = np.ascontiguousarray(data, dtype=np.float64).ravel()
+        with tracer.span(
+            f"codec.{self.name}.encode", "compress", {"codec": self.name}
+        ) as sp:
+            blob = self._encode(arr)
+            sp.note(in_bytes=int(arr.nbytes), out_bytes=len(blob))
+            tracer.metrics.counter(
+                "codec.bytes_in", codec=self.name, op="encode"
+            ).inc(int(arr.nbytes))
+            tracer.metrics.counter(
+                "codec.bytes_out", codec=self.name, op="encode"
+            ).inc(len(blob))
+            return blob
+
+    def _encode(self, data: np.ndarray) -> bytes:
         data = np.ascontiguousarray(data, dtype=np.float64).ravel()
         if data.size and not np.isfinite(data).all():
             raise CompressionError(
@@ -63,6 +82,16 @@ class Compressor(ABC):
 
     def decode(self, blob: bytes) -> np.ndarray:
         """Decompress a payload produced by this codec."""
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._decode(blob)
+        with tracer.span(
+            f"codec.{self.name}.decode", "compress",
+            {"codec": self.name, "in_bytes": len(blob)},
+        ):
+            return self._decode(blob)
+
+    def _decode(self, blob: bytes) -> np.ndarray:
         name, count, payload = _split_envelope(blob)
         if name != self.name:
             raise CompressionError(

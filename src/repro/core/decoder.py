@@ -30,6 +30,7 @@ from repro.errors import RestorationError
 from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
 
 __all__ = ["PhaseTimings", "LevelData", "CanopusDecoder"]
 
@@ -241,12 +242,15 @@ class CanopusDecoder:
         """Option (1) of §III-B: the quick look from the fastest tier."""
         scheme = self.scheme(var)
         base_level = scheme.base_level
-        timings = PhaseTimings()
-        blob = self._timed_read(level_key(var, base_level), timings)
-        t0 = time.perf_counter()
-        field_ = self._shape_field(var, decode_auto(blob))
-        timings.decompress_seconds += time.perf_counter() - t0
-        mesh = self._read_mesh(var, base_level, timings)
+        with trace.span(
+            "decode.read_base", "restore", {"var": var, "level": base_level}
+        ):
+            timings = PhaseTimings()
+            blob = self._timed_read(level_key(var, base_level), timings)
+            t0 = time.perf_counter()
+            field_ = self._shape_field(var, decode_auto(blob))
+            timings.decompress_seconds += time.perf_counter() - t0
+            mesh = self._read_mesh(var, base_level, timings)
         return LevelData(
             var=var, level=base_level, mesh=mesh, field=field_, timings=timings
         )
@@ -327,26 +331,29 @@ class CanopusDecoder:
             raise RestorationError("already at full accuracy (level 0)")
         var = state.var
         target = state.level - 1
-        timings = PhaseTimings()
-        mapping = self._read_mapping(var, target, timings)
-        fine_mesh = self._read_mesh(var, target, timings)
+        with trace.span(
+            "decode.refine", "restore", {"var": var, "level": target}
+        ):
+            timings = PhaseTimings()
+            mapping = self._read_mapping(var, target, timings)
+            fine_mesh = self._read_mesh(var, target, timings)
 
-        window = None
-        if region is not None:
-            lo, hi = (np.asarray(b, dtype=np.float64) for b in region)
-            window = (lo, hi)
+            window = None
+            if region is not None:
+                lo, hi = (np.asarray(b, dtype=np.float64) for b in region)
+                window = (lo, hi)
 
-        delta, applied = self._read_delta(
-            var, target, mapping.n_fine, timings, window, min_significance
-        )
-        t0 = time.perf_counter()
-        field_ = apply_delta(state.field, delta, mapping)
-        timings.restore_seconds += time.perf_counter() - t0
-        rms = (
-            float(np.sqrt(np.mean(delta[..., applied] ** 2)))
-            if applied.any()
-            else 0.0
-        )
+            delta, applied = self._read_delta(
+                var, target, mapping.n_fine, timings, window, min_significance
+            )
+            t0 = time.perf_counter()
+            field_ = apply_delta(state.field, delta, mapping)
+            timings.restore_seconds += time.perf_counter() - t0
+            rms = (
+                float(np.sqrt(np.mean(delta[..., applied] ** 2)))
+                if applied.any()
+                else 0.0
+            )
         return LevelData(
             var=var,
             level=target,

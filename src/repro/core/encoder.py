@@ -41,6 +41,7 @@ from repro.io.dataset import BPDataset
 from repro.io.transports import Transport
 from repro.mesh.io import mesh_to_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["CanopusEncoder", "EncodeReport"]
@@ -175,9 +176,14 @@ class CanopusEncoder:
             scheme=scheme,
             original_bytes=int(np.asarray(data).nbytes),
         )
-        result = refactor(
-            mesh, data, scheme, estimator=self.estimator, priority=self.priority
-        )
+        with trace.span(
+            "encode.refactor", "refactor",
+            {"var": var, "levels": scheme.num_levels},
+        ):
+            result = refactor(
+                mesh, data, scheme,
+                estimator=self.estimator, priority=self.priority,
+            )
         report.decimation_seconds = result.decimation_seconds
         report.delta_seconds = result.delta_seconds
 
@@ -300,7 +306,8 @@ class CanopusEncoder:
         if close:
             clock = self.hierarchy.clock
             before = clock.elapsed
-            ds.close()
+            with trace.span("encode.flush", "io", {"var": var}):
+                ds.close()
             report.io_seconds = clock.elapsed - before
             for key in list(report.placed_tiers):
                 report.placed_tiers[key] = ds.catalog.get(key).tier

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.decoder import CanopusDecoder, LevelData
 from repro.errors import RestorationError
+from repro.obs import trace
 
 __all__ = ["ProgressiveReader"]
 
@@ -77,7 +78,13 @@ class ProgressiveReader:
         clock = self._clock()
         before = clock.elapsed
         levels = range(next_target, max(-1, next_target - self.lookahead), -1)
-        self.decoder.prefetch_levels(self.var, levels, label=f"{self.var}:pipeline")
+        with trace.span(
+            "progressive.prefetch", "pipeline",
+            {"var": self.var, "next_target": next_target},
+        ):
+            self.decoder.prefetch_levels(
+                self.var, levels, label=f"{self.var}:pipeline"
+            )
         return clock.elapsed - before
 
     # ------------------------------------------------------------------
@@ -85,20 +92,26 @@ class ProgressiveReader:
     def state(self) -> LevelData:
         """Current restored level (reads the base on first access)."""
         if self._state is None:
-            prefetch_io = 0.0
-            if self.pipeline:
-                # Batch the base field + base mesh into one engine fetch,
-                # and start the first deltas moving behind it.
-                clock = self._clock()
-                before = clock.elapsed
-                self.decoder.dataset.prefetch(
-                    self.decoder.base_keys(self.var),
-                    label=f"{self.var}:base",
-                )
-                prefetch_io = clock.elapsed - before
-                prefetch_io += self._prefetch_window(self.scheme.base_level - 1)
-            self._state = self.decoder.read_base(self.var)
-            self._state.timings.io_seconds += prefetch_io
+            with trace.span(
+                "progressive.base", "pipeline",
+                {"var": self.var, "pipeline": self.pipeline},
+            ):
+                prefetch_io = 0.0
+                if self.pipeline:
+                    # Batch the base field + base mesh into one engine
+                    # fetch, and start the first deltas moving behind it.
+                    clock = self._clock()
+                    before = clock.elapsed
+                    self.decoder.dataset.prefetch(
+                        self.decoder.base_keys(self.var),
+                        label=f"{self.var}:base",
+                    )
+                    prefetch_io = clock.elapsed - before
+                    prefetch_io += self._prefetch_window(
+                        self.scheme.base_level - 1
+                    )
+                self._state = self.decoder.read_base(self.var)
+                self._state.timings.io_seconds += prefetch_io
         return self._state
 
     @property
@@ -126,11 +139,15 @@ class ProgressiveReader:
         if self.at_full_accuracy:
             raise RestorationError("already at full accuracy")
         target = self.state.level - 1
-        prefetch_io = 0.0
-        if self.pipeline and region is None:
-            prefetch_io = self._prefetch_window(target)
-        self._state = self.decoder.refine(self.state, region=region)
-        self._state.timings.io_seconds += prefetch_io
+        with trace.span(
+            "progressive.refine", "pipeline",
+            {"var": self.var, "target": target},
+        ):
+            prefetch_io = 0.0
+            if self.pipeline and region is None:
+                prefetch_io = self._prefetch_window(target)
+            self._state = self.decoder.refine(self.state, region=region)
+            self._state.timings.io_seconds += prefetch_io
         return self._state
 
     def refine_until(

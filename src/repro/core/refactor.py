@@ -27,6 +27,7 @@ from repro.core.notation import LevelScheme
 from repro.errors import RefactoringError
 from repro.mesh.edge_collapse import decimate
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
 
 __all__ = ["RefactorResult", "refactor"]
 
@@ -113,14 +114,18 @@ def refactor(
     levels: list[np.ndarray] = [data]
     ratios: list[float] = [1.0]
     t_decimate = 0.0
-    for _ in range(scheme.num_levels - 1):
+    for step in range(scheme.num_levels - 1):
         t0 = time.perf_counter()
-        result = decimate(
-            meshes[-1],
-            _to_fields(levels[-1]),
-            ratio=scheme.step_ratio,
-            priority=priority,
-        )
+        with trace.span(
+            "refactor.decimate", "refactor",
+            {"level": step + 1, "vertices_in": meshes[-1].num_vertices},
+        ):
+            result = decimate(
+                meshes[-1],
+                _to_fields(levels[-1]),
+                ratio=scheme.step_ratio,
+                priority=priority,
+            )
         t_decimate += time.perf_counter() - t0
         meshes.append(result.mesh)
         levels.append(_from_fields(result.fields))
@@ -131,10 +136,13 @@ def refactor(
     t_delta = 0.0
     for lvl in scheme.delta_levels():
         t0 = time.perf_counter()
-        mapping = build_mapping(
-            meshes[lvl], meshes[lvl + 1], estimator=estimator
-        )
-        delta = compute_delta(levels[lvl], levels[lvl + 1], mapping)
+        with trace.span(
+            "refactor.delta", "refactor", {"level": lvl}
+        ):
+            mapping = build_mapping(
+                meshes[lvl], meshes[lvl + 1], estimator=estimator
+            )
+            delta = compute_delta(levels[lvl], levels[lvl + 1], mapping)
         t_delta += time.perf_counter() - t0
         deltas.append(delta)
         mappings.append(mapping)

@@ -1,0 +1,45 @@
+"""Once-per-process deprecation warnings.
+
+Module-level shims fire their :class:`DeprecationWarning` on import, so a
+process that re-imports (or ``importlib.reload``-s) a shim would spam the
+same message. :func:`warn_once` keys each warning by a caller-chosen
+string and emits it at most once per process; tests can clear the
+registry with :func:`reset_warnings` to observe the first emission again.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_seen: set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_once(
+    key: str,
+    message: str,
+    *,
+    category: type[Warning] = DeprecationWarning,
+    stacklevel: int = 2,
+) -> bool:
+    """Emit ``message`` once per process for ``key``.
+
+    Returns True when the warning was actually emitted, False when this
+    key already warned. ``stacklevel`` counts from the caller of
+    ``warn_once`` (2 = the caller's caller, matching ``warnings.warn``).
+    """
+    with _lock:
+        if key in _seen:
+            return False
+        _seen.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel + 1)
+    return True
+
+
+def reset_warnings() -> None:
+    """Forget all emitted keys (test hook)."""
+    with _lock:
+        _seen.clear()

@@ -5,7 +5,13 @@ from repro.harness.experiment import (
     setup_experiment,
     write_baseline_dataset,
 )
-from repro.harness.report import format_fraction_bar, format_table, print_table
+from repro.harness.report import (
+    format_fraction_bar,
+    format_table,
+    json_report,
+    print_table,
+    write_json_report,
+)
 
 __all__ = [
     "ExperimentSetup",
@@ -14,4 +20,6 @@ __all__ = [
     "format_table",
     "print_table",
     "format_fraction_bar",
+    "json_report",
+    "write_json_report",
 ]

@@ -3,19 +3,19 @@
 The dataset class moved to :mod:`repro.io.dataset` when the unified
 :mod:`repro.api` façade became the supported public surface. This shim
 keeps ``from repro.io.api import BPDataset`` working for one release.
+The deprecation warning is emitted exactly once per process, however
+often the module is (re-)imported.
 """
 
 from __future__ import annotations
 
-import warnings
-
+from repro.deprecation import warn_once
 from repro.io.dataset import BPDataset
 
 __all__ = ["BPDataset"]
 
-warnings.warn(
+warn_once(
+    "repro.io.api",
     "repro.io.api is deprecated; import BPDataset from repro.api "
     "(preferred) or repro.io.dataset",
-    DeprecationWarning,
-    stacklevel=2,
 )

@@ -37,6 +37,7 @@ from repro.io.bp import BPWriter
 from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.metadata import Catalog, VariableRecord
 from repro.io.transports import PosixTransport, Transport
+from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["BPDataset"]
@@ -131,7 +132,20 @@ class BPDataset:
             raise BPFormatError("dataset is open read-only")
         if self._closed:
             raise BPFormatError("dataset already closed")
-        tier = self._choose_tier(len(payload), preferred_tier)
+        tracer = trace.get_tracer()
+        if tracer is None:
+            tier = self._choose_tier(len(payload), preferred_tier)
+        else:
+            with tracer.span(
+                "dataset.place", "placement",
+                {"key": key, "nbytes": len(payload),
+                 "preferred_tier": preferred_tier},
+            ) as sp:
+                tier = self._choose_tier(len(payload), preferred_tier)
+                sp.note(
+                    tier=tier,
+                    bypassed=tier != self.hierarchy.tiers[preferred_tier].name,
+                )
         writer = self._writers.setdefault(tier, BPWriter())
         offset, length = writer.add(key, payload)
         record = VariableRecord(
@@ -169,15 +183,20 @@ class BPDataset:
         if self.mode != "w" or self._closed:
             self._closed = True
             return
-        for tier_name, writer in sorted(self._writers.items()):
-            transport = self.transports[tier_name]
-            transport.write(
-                self._subfile(tier_name), writer.finalize(), f"{self.name}:subfile"
+        with trace.span(
+            "dataset.flush", "io", {"dataset": self.name}
+        ):
+            for tier_name, writer in sorted(self._writers.items()):
+                transport = self.transports[tier_name]
+                transport.write(
+                    self._subfile(tier_name), writer.finalize(),
+                    f"{self.name}:subfile",
+                )
+            slow = self.hierarchy.slowest
+            self.transports[slow.name].write(
+                self._catalog_path(), self.catalog.to_json(),
+                f"{self.name}:catalog",
             )
-        slow = self.hierarchy.slowest
-        self.transports[slow.name].write(
-            self._catalog_path(), self.catalog.to_json(), f"{self.name}:catalog"
-        )
         self._closed = True
 
     def __enter__(self) -> "BPDataset":

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BPFormatError, StorageError
 from repro.io.cache import RangeCache
 from repro.io.metadata import VariableRecord
 from repro.io.transports import Transport
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["EngineStats", "RetrievalEngine"]
@@ -44,44 +46,79 @@ __all__ = ["EngineStats", "RetrievalEngine"]
 _COALESCE_GAP = 4096
 
 
-@dataclass
 class EngineStats:
-    """Counters exposed to benchmarks and the experiment harness."""
+    """Cache/prefetch counters, as a view over a metrics registry.
 
-    hits: int = 0
-    misses: int = 0
-    hits_by_tier: dict = field(default_factory=dict)
-    misses_by_tier: dict = field(default_factory=dict)
-    bytes_from_tier: dict = field(default_factory=dict)
-    bytes_from_cache: int = 0
-    prefetch_issued: int = 0
-    prefetch_useful: int = 0
-    batches: int = 0
-    coalesced_spans: int = 0
+    Historically a plain dataclass mutated with ``+=`` from whichever
+    thread got there first; now every counter lives in a thread-safe
+    :class:`~repro.obs.metrics.MetricsRegistry` (worker threads update
+    hit counters concurrently with the submit path). The attribute API
+    (``stats.hits``, ``stats.hits_by_tier``, ...) is preserved as
+    read-only properties, so existing benchmarks keep working.
+    """
+
+    #: Scalar counters exposed as attributes and snapshot keys.
+    _SCALARS = (
+        "hits",
+        "misses",
+        "bytes_from_cache",
+        "prefetch_issued",
+        "prefetch_useful",
+        "batches",
+        "coalesced_spans",
+    )
+    #: Per-tier counter families exposed as dict-valued attributes.
+    _BY_TIER = ("hits_by_tier", "misses_by_tier", "bytes_from_tier")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- mutation (engine-internal) -------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.registry.counter(f"engine.{name}").inc(n)
 
     def record_hit(self, tier: str, nbytes: int) -> None:
-        self.hits += 1
-        self.hits_by_tier[tier] = self.hits_by_tier.get(tier, 0) + 1
-        self.bytes_from_cache += nbytes
+        self.registry.counter("engine.hits").inc()
+        self.registry.counter("engine.hits_by_tier", tier=tier).inc()
+        self.registry.counter("engine.bytes_from_cache").inc(nbytes)
 
     def record_miss(self, tier: str, nbytes: int) -> None:
-        self.misses += 1
-        self.misses_by_tier[tier] = self.misses_by_tier.get(tier, 0) + 1
-        self.bytes_from_tier[tier] = self.bytes_from_tier.get(tier, 0) + nbytes
+        self.registry.counter("engine.misses").inc()
+        self.registry.counter("engine.misses_by_tier", tier=tier).inc()
+        self.registry.counter("engine.bytes_from_tier", tier=tier).inc(nbytes)
+
+    # -- view -----------------------------------------------------------
+    def __getattr__(self, name: str):
+        # Only consulted for names not found normally: map the legacy
+        # dataclass attributes onto registry lookups.
+        if name in EngineStats._SCALARS:
+            return self.registry.value(f"engine.{name}")
+        if name in EngineStats._BY_TIER:
+            return self.registry.label_values(f"engine.{name}", "tier")
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (thread-safe)."""
+        out: dict = {name: self.registry.value(f"engine.{name}")
+                     for name in self._SCALARS}
+        for name in self._BY_TIER:
+            out[name] = self.registry.label_values(f"engine.{name}", "tier")
+        return out
 
     def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hits_by_tier": dict(self.hits_by_tier),
-            "misses_by_tier": dict(self.misses_by_tier),
-            "bytes_from_tier": dict(self.bytes_from_tier),
-            "bytes_from_cache": self.bytes_from_cache,
-            "prefetch_issued": self.prefetch_issued,
-            "prefetch_useful": self.prefetch_useful,
-            "batches": self.batches,
-            "coalesced_spans": self.coalesced_spans,
-        }
+        return self.snapshot()
+
+    def reset(self) -> None:
+        """Zero all counters (for per-phase measurement windows)."""
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(hits={self.hits}, misses={self.misses}, "
+            f"prefetch={self.prefetch_useful}/{self.prefetch_issued})"
+        )
 
 
 @dataclass(frozen=True)
@@ -175,6 +212,16 @@ class RetrievalEngine:
         (``latency + length / bandwidth``), so serial retrieval through
         the engine is charge-identical to the pre-engine read path.
         """
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._read(rec, verify)
+        with tracer.span("engine.read", "cache", {"key": rec.key}) as sp:
+            hits_before = self.stats.hits
+            data = self._read(rec, verify)
+            sp.note(hit=self.stats.hits > hits_before, nbytes=rec.length)
+            return data
+
+    def _read(self, rec: VariableRecord, verify: bool) -> bytes:
         key = self._key(rec)
         entry = self.cache.get(key)
         if entry is None:
@@ -185,7 +232,7 @@ class RetrievalEngine:
         if entry is not None:
             if entry.prefetched:
                 entry.prefetched = False
-                self.stats.prefetch_useful += 1
+                self.stats.incr("prefetch_useful")
             self.stats.record_hit(entry.tier, rec.length)
             return entry.data
         tier_name = self._locate(rec)
@@ -249,14 +296,32 @@ class RetrievalEngine:
                     device.concurrent_read_seconds(sizes),
                 )
             )
-        self.stats.batches += 1
-        self.stats.coalesced_spans += len(spans)
+        self.stats.incr("batches")
+        self.stats.incr("coalesced_spans", len(spans))
         return clock.charge_concurrent(entries, label or "engine-batch")
 
     def _fetch_span(
         self, span: _Span, *, verify: bool, prefetched: bool
     ) -> dict[tuple[str, int, int], bytes]:
         """Move one span's real bytes and fan them out into the cache."""
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._fetch_span_inner(span, verify=verify, prefetched=prefetched)
+        with tracer.span(
+            "engine.fetch_span", "io",
+            {
+                "tier": span.tier, "subfile": span.subfile,
+                "nbytes": span.length, "records": len(span.records),
+                "prefetched": prefetched,
+            },
+        ):
+            return self._fetch_span_inner(
+                span, verify=verify, prefetched=prefetched
+            )
+
+    def _fetch_span_inner(
+        self, span: _Span, *, verify: bool, prefetched: bool
+    ) -> dict[tuple[str, int, int], bytes]:
         blob = self.transports[span.tier].peek_range(
             span.subfile, span.offset, span.length
         )
@@ -288,6 +353,29 @@ class RetrievalEngine:
         Returns ``{record.key: bytes}``. Cached and in-flight ranges are
         reused; the rest is charged as one overlapped batch.
         """
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._read_many(records, verify=verify, label=label)
+        with tracer.span(
+            "engine.read_many", "cache",
+            {"requested": len(records), "label": label},
+        ) as sp:
+            hits_before = self.stats.hits
+            misses_before = self.stats.misses
+            out = self._read_many(records, verify=verify, label=label)
+            sp.note(
+                hits=self.stats.hits - hits_before,
+                misses=self.stats.misses - misses_before,
+            )
+            return out
+
+    def _read_many(
+        self,
+        records: list[VariableRecord],
+        *,
+        verify: bool,
+        label: str,
+    ) -> dict[str, bytes]:
         out: dict[str, bytes] = {}
         missing: list[VariableRecord] = []
         waiting: list[VariableRecord] = []
@@ -301,7 +389,7 @@ class RetrievalEngine:
             if entry is not None:
                 if entry.prefetched:
                     entry.prefetched = False
-                    self.stats.prefetch_useful += 1
+                    self.stats.incr("prefetch_useful")
                 self.stats.record_hit(entry.tier, rec.length)
                 out[rec.key] = entry.data
             elif key in self._inflight:
@@ -339,7 +427,7 @@ class RetrievalEngine:
                 continue
             if entry.prefetched:
                 entry.prefetched = False
-                self.stats.prefetch_useful += 1
+                self.stats.incr("prefetch_useful")
             self.stats.record_hit(entry.tier, rec.length)
             out[rec.key] = entry.data
         return out
@@ -378,7 +466,7 @@ class RetrievalEngine:
         self._charge_spans(spans, label or "prefetch")
         for rec in missing:
             self.stats.record_miss(self._locate(rec), rec.length)
-        self.stats.prefetch_issued += len(missing)
+        self.stats.incr("prefetch_issued", len(missing))
         pool = self._executor()
         for span in spans:
             future = pool.submit(

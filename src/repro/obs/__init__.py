@@ -1,0 +1,66 @@
+"""Observability: dual-clock tracing, metrics, and trace export.
+
+The Canopus argument is quantitative — per-stage costs of decimation,
+delta encoding, compression, tier placement, and progressive retrieval —
+so this subpackage gives every layer one shared instrumentation
+substrate instead of scattered ad-hoc counters:
+
+* :mod:`repro.obs.trace` — thread-safe spans that record wall time
+  *and* simulated I/O time (hooked into ``SimClock``), with a no-op
+  fast path when tracing is disabled;
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  (the retrieval engine's ``EngineStats`` is a view over it);
+* :mod:`repro.obs.sinks` — in-memory and JSONL sinks plus a Chrome
+  trace-event exporter loadable in Perfetto / ``chrome://tracing``.
+
+Typical use goes through :func:`repro.api.trace_session` or the
+``repro trace`` CLI subcommand; library code instruments itself with
+``repro.obs.trace.span(...)`` which costs one attribute check while no
+session is active.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    TraceSink,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import (
+    IORecord,
+    SpanRecord,
+    Tracer,
+    enabled,
+    get_tracer,
+    span,
+    trace_session,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "IORecord",
+    "SpanRecord",
+    "Tracer",
+    "enabled",
+    "get_tracer",
+    "span",
+    "trace_session",
+    "TraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,244 @@
+"""Thread-safe metrics registry: counters, gauges, histograms.
+
+The registry is the quantitative backbone of the observability layer
+(:mod:`repro.obs`): every subsystem that used to keep private ad-hoc
+counters (the retrieval engine's ``EngineStats``, codec byte counts,
+benchmark tallies) records through one of these instruments instead, so
+a single :meth:`MetricsRegistry.snapshot` captures the whole pipeline's
+state at once and the harness can emit it as machine-readable JSON.
+
+Metrics are identified by ``(name, labels)``; labels are free-form
+string key/value pairs (``counter("engine.hits_by_tier", tier="lustre")``).
+Instruments are created on first use and are safe to mutate from any
+thread — the retrieval engine's worker threads update counters
+concurrently with the submit path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+LabelsKey = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, str]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, cache hits)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot_value(self):
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Gauge:
+    """Last-observed value (cache occupancy, in-flight spans)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _snapshot_value(self):
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (span durations).
+
+    Keeps count/sum/min/max rather than buckets — enough for the
+    per-run reports without committing to a bucket layout.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+
+    def _snapshot_value(self):
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, {dict(self.labels)}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Creation is serialized under one lock; mutation happens under each
+    instrument's own lock, so hot-path increments never contend with
+    unrelated metrics.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelsKey], object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, str]):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(key, cls(name, key[1]))
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, default=0, **labels: str):
+        """Current value of one instrument (``default`` if never created)."""
+        metric = self._metrics.get((name, _labels_key(labels)))
+        return default if metric is None else metric._snapshot_value()
+
+    def label_values(self, name: str, label: str) -> dict[str, object]:
+        """``{label value: metric value}`` across one labeled family."""
+        out: dict[str, object] = {}
+        for (metric_name, labels), metric in list(self._metrics.items()):
+            if metric_name != name:
+                continue
+            for key, value in labels:
+                if key == label:
+                    out[value] = metric._snapshot_value()
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        """Flat ``{qualified name: value}`` view of every instrument.
+
+        Labeled instruments render as ``name{k=v,...}`` keys, so the
+        snapshot is JSON-ready without nesting surprises.
+        """
+        out: dict[str, object] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            if labels:
+                qualified = name + "{" + ",".join(
+                    f"{k}={v}" for k, v in labels
+                ) + "}"
+            else:
+                qualified = name
+            out[qualified] = metric._snapshot_value()
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for metric in list(self._metrics.values()):
+            metric._reset()
+
+
+#: Process-wide default registry (used when no explicit registry is wired).
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL

@@ -1,0 +1,242 @@
+"""Trace sinks and exporters: in-memory, JSONL, Chrome trace-event.
+
+The Chrome exporter emits the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by Perfetto and ``chrome://tracing``. The dual-clock model maps
+onto two trace *processes*:
+
+* ``pid 1`` — **wall clock**: one track per real thread, complete
+  (``ph="X"``) events whose ``ts``/``dur`` are perf-counter
+  microseconds; worker-thread overlap (prefetch vs. decompress) is
+  visible directly.
+* ``pid 2`` — **simulated I/O**: the same spans replayed on the
+  simulated timeline (``SimClock.elapsed`` snapshots), plus one track
+  per storage tier carrying the individual transfers; overlapped batch
+  charges show as parallel per-tier slices.
+
+Every ``X`` event's ``args`` carries both durations (``wall_seconds``
+and ``sim_seconds``), so either view can be read without flipping
+between processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.trace import IORecord, SpanRecord
+
+__all__ = [
+    "TraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Trace-process ids for the two clocks.
+WALL_PID = 1
+SIM_PID = 2
+
+
+class TraceSink:
+    """Receives each span as it finishes; subclass and override."""
+
+    def on_span(self, record: SpanRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(TraceSink):
+    """Collects spans in a list (tests, ad-hoc inspection)."""
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(TraceSink):
+    """Streams one JSON object per finished span to a file.
+
+    Unlike the end-of-session exporters, this writes incrementally, so a
+    crashed run still leaves every completed span on disk.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def on_span(self, record: SpanRecord) -> None:
+        self._fh.write(json.dumps(record.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(
+    spans: Iterable[SpanRecord], io_records: Iterable[IORecord] = ()
+) -> list[dict]:
+    """Build the ``traceEvents`` list for a set of finished spans."""
+    spans = list(spans)
+    io_records = list(io_records)
+
+    # Stable integer tids: real threads first, then sim-side tracks.
+    thread_names = sorted({r.thread for r in spans})
+    tier_names = sorted({r.tier for r in io_records})
+    tids: dict[str, int] = {}
+    for name in thread_names:
+        tids[f"wall:{name}"] = len(tids)
+        tids[f"sim:{name}"] = len(tids)
+    for tier in tier_names:
+        tids[f"tier:{tier}"] = len(tids)
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": WALL_PID,
+            "tid": 0,
+            "args": {"name": "wall clock"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SIM_PID,
+            "tid": 0,
+            "args": {"name": "simulated I/O"},
+        },
+    ]
+    for name in thread_names:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": WALL_PID,
+                "tid": tids[f"wall:{name}"],
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": tids[f"sim:{name}"],
+                "args": {"name": f"{name} (sim)"},
+            }
+        )
+    for tier in tier_names:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": tids[f"tier:{tier}"],
+                "args": {"name": f"tier {tier}"},
+            }
+        )
+
+    for r in spans:
+        args = {
+            **r.args,
+            "wall_seconds": r.wall_seconds,
+            "sim_seconds": r.sim_seconds,
+            "sim_charged": r.sim_charged,
+        }
+        if r.error:
+            args["error"] = r.error
+        events.append(
+            {
+                "name": r.name,
+                "cat": r.category or "span",
+                "ph": "X",
+                "ts": _us(r.wall_start),
+                "dur": _us(r.wall_seconds),
+                "pid": WALL_PID,
+                "tid": tids[f"wall:{r.thread}"],
+                "args": args,
+            }
+        )
+        if r.sim_end > r.sim_start:
+            events.append(
+                {
+                    "name": r.name,
+                    "cat": r.category or "span",
+                    "ph": "X",
+                    "ts": _us(r.sim_start),
+                    "dur": _us(r.sim_seconds),
+                    "pid": SIM_PID,
+                    "tid": tids[f"sim:{r.thread}"],
+                    "args": args,
+                }
+            )
+
+    for io in io_records:
+        events.append(
+            {
+                "name": f"{io.op} {io.label}".strip(),
+                "cat": "io",
+                "ph": "X",
+                "ts": _us(io.sim_start),
+                "dur": _us(io.seconds),
+                "pid": SIM_PID,
+                "tid": tids[f"tier:{io.tier}"],
+                "args": {
+                    "tier": io.tier,
+                    "op": io.op,
+                    "nbytes": io.nbytes,
+                    "sim_seconds": io.seconds,
+                    "wall_seconds": 0.0,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[SpanRecord],
+    io_records: Iterable[IORecord] = (),
+) -> str:
+    """Write a ``chrome://tracing`` / Perfetto loadable JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "traceEvents": chrome_trace_events(spans, io_records),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "format_version": 1},
+    }
+    path.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return str(path)
+
+
+def write_jsonl(
+    path: str | Path,
+    spans: Iterable[SpanRecord],
+    io_records: Iterable[IORecord] = (),
+) -> str:
+    """Write spans (then transfers) as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for r in spans:
+            fh.write(json.dumps({"kind": "span", **r.to_dict()}) + "\n")
+        for io in io_records:
+            fh.write(json.dumps({"kind": "io", **io.to_dict()}) + "\n")
+    return str(path)

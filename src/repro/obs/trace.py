@@ -1,0 +1,478 @@
+"""Dual-clock tracing: wall-time spans correlated with simulated I/O.
+
+The reproduction runs on two clocks at once. Compute phases (decimation,
+delta encoding, ZFP compression, restoration) burn *wall* time measured
+with :func:`time.perf_counter`; transfer phases burn *simulated* time
+charged to the shared :class:`~repro.storage.simclock.SimClock` by the
+tier device models. A trace that shows only one of the two cannot answer
+the question the paper's Figs. 6–11 answer — where does retrieval time
+actually go when compute overlaps tiered I/O — so every span here
+records both:
+
+* ``wall_start``/``wall_end`` — seconds since the tracer started, from
+  ``perf_counter``;
+* ``sim_start``/``sim_end`` — snapshots of ``SimClock.elapsed`` taken at
+  span entry/exit (when a clock is attached);
+* ``sim_charged``/``sim_busy`` — simulated seconds attributed to this
+  span specifically: the tracer registers a listener on the clock
+  (:meth:`SimClock.add_listener`) and credits each charge to the
+  innermost span active on the charging thread, so overlapped batches
+  land on the engine span that issued them, not on whatever happens to
+  be running elsewhere.
+
+Disabled tracing must be free: module-level :func:`span` checks one
+global and returns a shared no-op handle — no allocation, no clock
+reads — so the instrumented hot paths (per-record engine reads, codec
+calls) cost one attribute check when nobody is looking.
+
+Use :func:`trace_session` (re-exported as ``repro.api.trace_session``)
+to install a tracer for a ``with`` block and export the result::
+
+    with trace_session(hierarchy, chrome_path="trace.json") as tracer:
+        ds = open_dataset("run", hierarchy)
+        for state in read_progressive(ds, "dpot").levels():
+            ...
+    # trace.json now loads in Perfetto / chrome://tracing
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "IORecord",
+    "NoopSpan",
+    "Tracer",
+    "enabled",
+    "get_tracer",
+    "span",
+    "trace_session",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, on both clocks."""
+
+    name: str
+    category: str
+    span_id: int
+    parent_id: int | None
+    thread: str
+    wall_start: float
+    wall_end: float
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+    #: Simulated seconds charged while this span (and no child) was the
+    #: innermost active span on the charging thread.
+    sim_charged: float = 0.0
+    #: Device busy seconds behind ``sim_charged`` (>= sim_charged for
+    #: overlapped groups: busy sums, the charge advances max-per-tier).
+    sim_busy: float = 0.0
+    args: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated clock advance observed across the span."""
+        return self.sim_end - self.sim_start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "wall_seconds": self.wall_seconds,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "sim_seconds": self.sim_seconds,
+            "sim_charged": self.sim_charged,
+            "sim_busy": self.sim_busy,
+            "args": dict(self.args),
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class IORecord:
+    """One simulated transfer placed on the simulated timeline.
+
+    ``sim_start`` positions the transfer inside its charge group: all
+    tiers of an overlapped batch start together at the group's start,
+    and each tier's transfers queue behind one another — exactly the
+    max-per-tier overlap model the engine charges with.
+    """
+
+    tier: str
+    op: str
+    nbytes: int
+    seconds: float
+    sim_start: float
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "op": self.op,
+            "nbytes": self.nbytes,
+            "seconds": self.seconds,
+            "sim_start": self.sim_start,
+            "label": self.label,
+        }
+
+
+class NoopSpan:
+    """Shared do-nothing span handle for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def note(self, **kwargs) -> None:
+        pass
+
+
+_NOOP = NoopSpan()
+
+
+class _SpanHandle:
+    """Live span: context manager that records on exit."""
+
+    __slots__ = (
+        "_tracer", "name", "category", "args",
+        "span_id", "parent_id",
+        "wall_start", "sim_start", "sim_charged", "sim_busy",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.wall_start = 0.0
+        self.sim_start = 0.0
+        self.sim_charged = 0.0
+        self.sim_busy = 0.0
+
+    def note(self, **kwargs) -> None:
+        """Attach args discovered mid-span (hit/miss, chosen tier, ...)."""
+        if self.args is None:
+            self.args = kwargs
+        else:
+            self.args.update(kwargs)
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = tracer._next_id()
+        stack.append(self)
+        self.sim_start = tracer._sim_now()
+        self.wall_start = time.perf_counter() - tracer.wall_origin
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        wall_end = time.perf_counter() - tracer.wall_origin
+        sim_end = tracer._sim_now()
+        stack = tracer._stack()
+        # Pop self even if instrumented code misbehaved around us.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        tracer._record(
+            SpanRecord(
+                name=self.name,
+                category=self.category,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread=threading.current_thread().name,
+                wall_start=self.wall_start,
+                wall_end=wall_end,
+                sim_start=self.sim_start,
+                sim_end=sim_end,
+                sim_charged=self.sim_charged,
+                sim_busy=self.sim_busy,
+                args=self.args if self.args is not None else {},
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Collects spans and simulated-I/O placements for one session.
+
+    Parameters
+    ----------
+    clock:
+        Optional :class:`~repro.storage.simclock.SimClock`; when given,
+        spans snapshot its ``elapsed`` and the tracer listens for
+        charges to attribute simulated seconds per span and to place
+        per-tier transfers on the simulated timeline.
+    sinks:
+        Optional :class:`repro.obs.sinks.TraceSink` instances notified
+        of every finished span (the in-memory record list is always
+        kept regardless).
+    registry:
+        Metrics registry for instrumented components that want a
+        tracer-scoped home; defaults to a fresh one.
+    """
+
+    def __init__(self, *, clock=None, sinks=(), registry=None) -> None:
+        self.clock = clock
+        self.sinks = list(sinks)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.spans: list[SpanRecord] = []
+        self.io_records: list[IORecord] = []
+        self.wall_origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._id_counter = 0
+        self._attached = False
+
+    # -- bookkeeping ----------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    def _sim_now(self) -> float:
+        clock = self.clock
+        return clock.elapsed if clock is not None else 0.0
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+        for sink in self.sinks:
+            sink.on_span(record)
+
+    # -- clock integration ----------------------------------------------
+    def attach_clock(self, clock) -> None:
+        """Subscribe to a SimClock (idempotent for the current clock)."""
+        if self._attached and self.clock is clock:
+            return
+        if self._attached and self.clock is not None:
+            self.clock.remove_listener(self._on_charge)
+        self.clock = clock
+        if clock is not None:
+            clock.add_listener(self._on_charge)
+            self._attached = True
+
+    def detach_clock(self) -> None:
+        if self._attached and self.clock is not None:
+            self.clock.remove_listener(self._on_charge)
+        self._attached = False
+
+    def _on_charge(self, events, advance: float, elapsed_after: float) -> None:
+        """SimClock listener: attribute a charge to the active span.
+
+        Runs on the charging thread, so the innermost span on *this*
+        thread's stack is the code that issued the transfer.
+        """
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            top.sim_charged += advance
+            top.sim_busy += sum(e.seconds for e in events)
+        group_start = elapsed_after - advance
+        tier_offsets: dict[str, float] = {}
+        placed = []
+        for e in events:
+            offset = tier_offsets.get(e.tier, 0.0)
+            placed.append(
+                IORecord(
+                    tier=e.tier,
+                    op=e.op,
+                    nbytes=e.nbytes,
+                    seconds=e.seconds,
+                    sim_start=group_start + offset,
+                    label=e.label,
+                )
+            )
+            tier_offsets[e.tier] = offset + e.seconds
+        with self._lock:
+            self.io_records.extend(placed)
+
+    # -- span creation ---------------------------------------------------
+    def span(self, name: str, category: str = "", args: dict | None = None):
+        """New live span handle (use as a context manager)."""
+        return _SpanHandle(self, name, category, args)
+
+    # -- summaries -------------------------------------------------------
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-category totals (inclusive — nested spans both count)."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for rec in spans:
+            cat = out.setdefault(
+                rec.category or "uncategorized",
+                {"spans": 0, "wall_seconds": 0.0, "sim_charged": 0.0},
+            )
+            cat["spans"] += 1
+            cat["wall_seconds"] += rec.wall_seconds
+            cat["sim_charged"] += rec.sim_charged
+        return out
+
+    def export_chrome(self, path) -> "str":
+        """Write the Chrome trace-event JSON; returns the path written."""
+        from repro.obs.sinks import write_chrome_trace
+
+        return write_chrome_trace(path, self.spans, self.io_records)
+
+    def export_jsonl(self, path) -> "str":
+        from repro.obs.sinks import write_jsonl
+
+        return write_jsonl(path, self.spans, self.io_records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={len(self.spans)}, io={len(self.io_records)}, "
+            f"clock={'attached' if self._attached else 'none'})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# module-level current tracer + fast path
+# ---------------------------------------------------------------------------
+_tracer: Tracer | None = None
+_install_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _tracer
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, category: str = "", args: dict | None = None):
+    """A span on the current tracer — or the shared no-op handle.
+
+    This is the call instrumented code makes unconditionally; when no
+    tracer is installed it costs one global read and returns a
+    singleton, allocating nothing.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, category, args)
+
+
+def _install(tracer: Tracer) -> Tracer | None:
+    global _tracer
+    with _install_lock:
+        previous = _tracer
+        _tracer = tracer
+    return previous
+
+
+def _uninstall(previous: Tracer | None) -> None:
+    global _tracer
+    with _install_lock:
+        _tracer = previous
+
+
+def _resolve_clock(target):
+    """Accept a SimClock, or anything that leads to one.
+
+    ``StorageHierarchy`` / ``StorageTier`` expose ``.clock``;
+    ``BPDataset`` exposes ``.hierarchy.clock``; a bare clock passes
+    through; ``None`` means wall-clock-only tracing.
+    """
+    if target is None:
+        return None
+    if hasattr(target, "charge") and hasattr(target, "elapsed"):
+        return target
+    clock = getattr(target, "clock", None)
+    if clock is not None:
+        return clock
+    hierarchy = getattr(target, "hierarchy", None)
+    if hierarchy is not None:
+        return getattr(hierarchy, "clock", None)
+    raise TypeError(
+        f"cannot find a SimClock on {type(target).__name__!r}; pass a "
+        "SimClock, StorageHierarchy, or BPDataset (or None)"
+    )
+
+
+@contextmanager
+def trace_session(
+    target=None,
+    *,
+    chrome_path=None,
+    jsonl_path=None,
+    sinks=(),
+    registry=None,
+):
+    """Install a tracer for the duration of a ``with`` block.
+
+    Parameters
+    ----------
+    target:
+        Where the simulated clock lives: a
+        :class:`~repro.storage.simclock.SimClock`, a
+        :class:`~repro.storage.hierarchy.StorageHierarchy`, an open
+        :class:`~repro.io.dataset.BPDataset` — or ``None`` for
+        wall-clock-only tracing.
+    chrome_path / jsonl_path:
+        When given, the trace is exported there on exit (Chrome
+        trace-event JSON for Perfetto / ``chrome://tracing``, or one
+        JSON object per line).
+    sinks / registry:
+        Extra live sinks and an explicit metrics registry (see
+        :class:`Tracer`).
+
+    Yields the :class:`Tracer`; it stays readable after the block (for
+    ``summary()`` or a custom export). Sessions may nest — the inner
+    session's tracer wins until it exits.
+    """
+    clock = _resolve_clock(target)
+    tracer = Tracer(clock=clock, sinks=sinks, registry=registry)
+    if clock is not None:
+        tracer.attach_clock(clock)
+    previous = _install(tracer)
+    try:
+        yield tracer
+    finally:
+        _uninstall(previous)
+        tracer.detach_clock()
+        for sink in tracer.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        if chrome_path is not None:
+            tracer.export_chrome(chrome_path)
+        if jsonl_path is not None:
+            tracer.export_jsonl(jsonl_path)

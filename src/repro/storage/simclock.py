@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 __all__ = ["IOEvent", "SimClock"]
+
+#: Listener signature: ``(events, advance_seconds, elapsed_after)``.
+ChargeListener = Callable[[tuple["IOEvent", ...], float, float], None]
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,30 @@ class SimClock:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _listeners: list[ChargeListener] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    # -- observation ----------------------------------------------------
+    def add_listener(self, listener: ChargeListener) -> None:
+        """Subscribe to charges (``repro.obs`` dual-clock tracing hook).
+
+        Listeners are called after each charge, on the charging thread,
+        outside the clock lock, as ``listener(events, advance,
+        elapsed_after)`` — one overlapped group per call.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChargeListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(
+        self, events: tuple[IOEvent, ...], advance: float, after: float
+    ) -> None:
+        for listener in tuple(self._listeners):
+            listener(events, advance, after)
 
     def charge(
         self, tier: str, op: str, nbytes: int, seconds: float, label: str = ""
@@ -61,6 +88,9 @@ class SimClock:
         with self._lock:
             self.events.append(event)
             self.elapsed += seconds
+            after = self.elapsed
+        if self._listeners:
+            self._notify((event,), seconds, after)
         return event
 
     def charge_concurrent(
@@ -87,6 +117,9 @@ class SimClock:
         with self._lock:
             self.events.extend(events)
             self.elapsed += advance
+            after = self.elapsed
+        if self._listeners and events:
+            self._notify(tuple(events), advance, after)
         return advance
 
     def reset(self) -> None:

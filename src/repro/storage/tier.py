@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.errors import CapacityError, StorageError
+from repro.obs import trace
 from repro.storage.device import DeviceModel, device_preset
 from repro.storage.simclock import IOEvent, SimClock
 
@@ -94,6 +95,16 @@ class StorageTier:
     # ------------------------------------------------------------------
     def write(self, relpath: str, data: bytes, label: str = "") -> IOEvent:
         """Store ``data`` under ``relpath``; returns the charged event."""
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._write(relpath, data, label)
+        with tracer.span(
+            "tier.write", "io",
+            {"tier": self.name, "nbytes": len(data), "file": relpath},
+        ):
+            return self._write(relpath, data, label)
+
+    def _write(self, relpath: str, data: bytes, label: str) -> IOEvent:
         nbytes = len(data)
         previous = self._files.get(relpath, 0)
         if nbytes - previous > self.free_bytes:
@@ -113,6 +124,17 @@ class StorageTier:
         """Fetch the bytes stored under ``relpath``."""
         if relpath not in self._files:
             raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._read(relpath, label)
+        with tracer.span(
+            "tier.read", "io", {"tier": self.name, "file": relpath}
+        ) as sp:
+            data = self._read(relpath, label)
+            sp.note(nbytes=len(data))
+            return data
+
+    def _read(self, relpath: str, label: str) -> bytes:
         data = self._path(relpath).read_bytes()
         seconds = self.device.read_seconds(len(data))
         self.clock.charge(self.name, "read", len(data), seconds, label)
@@ -127,6 +149,18 @@ class StorageTier:
         multi-variable subfile without paying for the whole file — the
         metadata-rich-format benefit the paper attributes to ADIOS.
         """
+        tracer = trace.get_tracer()
+        if tracer is None:
+            return self._read_range(relpath, offset, length, label)
+        with tracer.span(
+            "tier.read_range", "io",
+            {"tier": self.name, "nbytes": length, "file": relpath},
+        ):
+            return self._read_range(relpath, offset, length, label)
+
+    def _read_range(
+        self, relpath: str, offset: int, length: int, label: str
+    ) -> bytes:
         data = self.peek_range(relpath, offset, length)
         seconds = self.device.read_seconds(length)
         self.clock.charge(self.name, "read", length, seconds, label)

@@ -124,16 +124,28 @@ class TestReadProgressive:
 
 
 class TestDeprecationShims:
-    def test_old_io_api_import_warns_and_works(self):
+    def test_old_io_api_import_warns_exactly_once_per_process(self):
+        from repro.deprecation import reset_warnings
+
         import repro.io.api  # noqa: F401  (may already be imported)
 
-        importlib.reload(repro.io.api)  # re-trigger the module-level warning
+        reset_warnings()  # observe the "first import" of this process
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             importlib.reload(repro.io.api)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
+        first = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(first) == 1, first
+
+        # Re-importing (or reloading) must NOT warn again.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro.io.api)
+        again = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert again == []
         assert repro.io.api.BPDataset is BPDataset
 
     def test_old_top_level_exports_still_work(self, hierarchy):

@@ -110,6 +110,45 @@ class TestFsck:
         assert "BAD" in capsys.readouterr().out
 
 
+class TestTrace:
+    def encode(self, generated):
+        mesh_path, root = generated
+        return main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--levels", "3", "--tolerance", "1e-4"]
+        )
+
+    def test_trace_prints_phase_table(self, generated, capsys):
+        assert self.encode(generated) == 0
+        _, root = generated
+        assert main(["trace", "run", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "trace of 'run':'dpot'" in out
+        assert "sim_io_ms" in out
+        assert "restore" in out
+
+    def test_trace_exports_chrome_json(self, generated, tmp_path, capsys):
+        self.encode(generated)
+        _, root = generated
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "run", "--root", str(root), "--out", str(trace_path)]
+        ) == 0
+        import json
+
+        doc = json.loads(trace_path.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs and {e["pid"] for e in xs} == {1, 2}
+
+    def test_trace_leaves_tracing_disabled(self, generated):
+        from repro.obs import trace
+
+        self.encode(generated)
+        _, root = generated
+        assert main(["trace", "run", "--root", str(root)]) == 0
+        assert trace.get_tracer() is None
+
+
 class TestErrors:
     def test_missing_field(self, generated, capsys):
         mesh_path, root = generated

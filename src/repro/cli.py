@@ -29,6 +29,7 @@ from repro.core import CanopusDecoder, CanopusEncoder, LevelScheme
 from repro.errors import ReproError
 from repro.harness.report import format_table
 from repro.io import BPDataset
+from repro.mesh.edge_collapse import KERNELS
 from repro.mesh.io import load_mesh, save_mesh
 from repro.simulations import dataset_names, make_dataset
 from repro.storage import two_tier_titan
@@ -58,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
     enc.add_argument("--codec", default="zfp")
     enc.add_argument("--tolerance", type=float, default=1e-4)
     enc.add_argument("--chunks", type=int, default=1)
+    enc.add_argument(
+        "--method", choices=KERNELS, default="serial",
+        help="decimation kernel (serial heap loop or batched rounds)",
+    )
+    enc.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for delta + compress overlap (default: serial)",
+    )
     enc.add_argument(
         "--fast-capacity", type=int, default=64 << 20,
         help="fast-tier capacity in bytes",
@@ -131,7 +140,8 @@ def _cmd_encode(args) -> int:
     if args.codec == "zfp":
         params["mode"] = "relative"
     encoder = CanopusEncoder(
-        hierarchy, codec=args.codec, codec_params=params, chunks=args.chunks
+        hierarchy, codec=args.codec, codec_params=params, chunks=args.chunks,
+        method=args.method, workers=args.workers,
     )
     report, _ = encoder.encode(
         args.dataset, args.field, mesh, fields[args.field],

@@ -16,6 +16,14 @@ from repro.core.parallel import (
     encode_partitioned,
 )
 from repro.core.decoder import CanopusDecoder, LevelData, PhaseTimings
+from repro.core.decimation_plan import (
+    DecimationPlan,
+    PlanCache,
+    build_plan,
+    get_plan_cache,
+    mesh_fingerprint,
+    plan_eligible,
+)
 from repro.core.delta import apply_delta, compute_delta
 from repro.core.encoder import CanopusEncoder, EncodeReport
 from repro.core.mapping import LevelMapping, build_mapping
@@ -44,6 +52,12 @@ __all__ = [
     "apply_delta",
     "refactor",
     "RefactorResult",
+    "DecimationPlan",
+    "PlanCache",
+    "build_plan",
+    "get_plan_cache",
+    "mesh_fingerprint",
+    "plan_eligible",
     "PlacementPlan",
     "plan_placement",
     "CanopusEncoder",

@@ -26,16 +26,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compress import decode_auto, get_codec
+from repro.core.decimation_plan import (
+    build_plan,
+    get_plan_cache,
+    plan_eligible,
+)
 from repro.core.decoder import LevelData, PhaseTimings
-from repro.core.delta import apply_delta, compute_delta
-from repro.core.mapping import LevelMapping, build_mapping
+from repro.core.delta import apply_delta
+from repro.core.mapping import LevelMapping
 from repro.core.notation import LevelScheme, mapping_key, mesh_key
 from repro.core.plan import plan_placement
 from repro.errors import CanopusError, RestorationError
 from repro.io.dataset import BPDataset
-from repro.mesh.edge_collapse import decimate
+from repro.mesh.edge_collapse import KERNELS
 from repro.mesh.io import mesh_from_bytes, mesh_to_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["CampaignWriter", "CampaignReader", "StepReport"]
@@ -71,6 +77,15 @@ class CampaignWriter:
     Parameters mirror :class:`~repro.core.encoder.CanopusEncoder`; the
     decimated mesh chain is computed from the first timestep's mesh and
     reused for every subsequent step (meshes are static across steps).
+
+    Geometry work goes through a
+    :class:`~repro.core.decimation_plan.DecimationPlan` — consulted
+    from the process-wide plan cache for geometry-determined priorities
+    — so a second campaign over the same mesh skips decimation
+    entirely, and every ``write_step`` coarsens its field by replaying
+    the recorded collapse sequence (bit-identical to re-running it).
+    With ``workers > 1``, per-level delta computation and codec encodes
+    overlap on a thread pool.
     """
 
     def __init__(
@@ -85,7 +100,17 @@ class CampaignWriter:
         codec_params: dict | None = None,
         estimator: str = "mean",
         priority: str = "length",
+        method: str = "serial",
+        workers: int | None = None,
+        use_plan_cache: bool = True,
     ) -> None:
+        if method not in KERNELS:
+            raise CanopusError(
+                f"unknown decimation method {method!r}; "
+                f"expected one of {KERNELS}"
+            )
+        if workers is not None and workers < 1:
+            raise CanopusError("workers must be >= 1")
         self.hierarchy = hierarchy
         self.name = name
         self.var = var
@@ -94,21 +119,27 @@ class CampaignWriter:
         self.codec_params = dict(codec_params or {})
         self._codec = get_codec(codec, **self.codec_params)
         self._plan = plan_placement(scheme, len(hierarchy))
+        self.workers = workers
         self._steps: list[int] = []
         self._closed = False
 
-        # --- one-time geometry refactoring -----------------------------
+        # --- one-time geometry refactoring (plan-cached) ----------------
         t0 = time.perf_counter()
-        self.meshes: list[TriangleMesh] = [mesh]
-        for _ in range(scheme.num_levels - 1):
-            result = decimate(self.meshes[-1], None, ratio=scheme.step_ratio,
-                              priority=priority)
-            self.meshes.append(result.mesh)
-        self.mappings: list[LevelMapping] = [
-            build_mapping(self.meshes[lvl], self.meshes[lvl + 1],
-                          estimator=estimator)
-            for lvl in scheme.delta_levels()
-        ]
+        if use_plan_cache and plan_eligible(priority):
+            self._geom_plan = get_plan_cache().get_or_build(
+                mesh, scheme, method=method, priority=priority,
+                estimator=estimator,
+            )
+        else:
+            # Data-dependent priorities degenerate to geometry-only here
+            # (there is no field yet at campaign-setup time), matching
+            # the historical fields=None decimation; build uncached.
+            self._geom_plan = build_plan(
+                mesh, scheme, method=method, priority=priority,
+                estimator=estimator,
+            )
+        self.meshes: list[TriangleMesh] = self._geom_plan.meshes
+        self.mappings: list[LevelMapping] = self._geom_plan.mappings
         self.geometry_seconds = time.perf_counter() - t0
 
         # --- persist geometry once --------------------------------------
@@ -151,42 +182,60 @@ class CampaignWriter:
                 f"step {step}: field shape {data.shape} does not match mesh"
             )
 
-        # Data-only refactoring: decimate values along the fixed mesh
-        # chain by averaging through the stored mappings (NewData is a
-        # local mean, so Estimate's source values suffice).
+        # Data-only refactoring: replay the recorded collapse sequence on
+        # this step's values (bit-identical to re-running Algorithm 1 on
+        # them), then compute per-level deltas — overlapped on a thread
+        # pool when workers > 1.
         t0 = time.perf_counter()
-        levels = [data]
-        for lvl in range(self.scheme.num_levels - 1):
-            levels.append(_decimate_data(levels[-1], self.mappings[lvl],
-                                         self.meshes[lvl + 1].num_vertices))
-        deltas = [
-            compute_delta(levels[lvl], levels[lvl + 1], self.mappings[lvl])
-            for lvl in self.scheme.delta_levels()
-        ]
+        with trace.span(
+            "campaign.refactor", "refactor",
+            {"step": step, "workers": self.workers or 1},
+        ):
+            levels = self._geom_plan.coarsen(data)
+            deltas = self._geom_plan.deltas_for(levels, workers=self.workers)
         refactor_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        payloads: list[tuple[str, bytes, str, int, int]] = []
         base_level = self.scheme.base_level
-        payloads.append(
+        arrays: list[tuple[str, np.ndarray, str, int, int]] = [
             (
                 _step_key(self.var, step, base_level, "base"),
-                self._codec.encode(levels[-1]),
+                levels[-1],
                 "base",
                 base_level,
                 self._plan.base_tier,
             )
-        )
+        ]
         for lvl in self.scheme.delta_levels():
-            payloads.append(
+            arrays.append(
                 (
                     _step_key(self.var, step, lvl, "delta"),
-                    self._codec.encode(deltas[lvl]),
+                    deltas[lvl],
                     "delta",
                     lvl,
                     self._plan.preferred_tier_for_delta(lvl),
                 )
             )
+        with trace.span(
+            "campaign.compress", "compress",
+            {"step": step, "payloads": len(arrays),
+             "workers": self.workers or 1},
+        ):
+            if self.workers and self.workers > 1 and len(arrays) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(arrays))
+                ) as pool:
+                    blobs = list(
+                        pool.map(self._codec.encode, (a for _, a, *_ in arrays))
+                    )
+            else:
+                blobs = [self._codec.encode(a) for _, a, *_ in arrays]
+        payloads = [
+            (key, blob, kind, lvl, tier)
+            for (key, _, kind, lvl, tier), blob in zip(arrays, blobs)
+        ]
         compress_seconds = time.perf_counter() - t0
 
         clock = self.hierarchy.clock
@@ -231,26 +280,6 @@ class CampaignWriter:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-
-def _decimate_data(
-    fine: np.ndarray, mapping: LevelMapping, n_coarse: int
-) -> np.ndarray:
-    """Coarse-level data for a fixed mesh chain.
-
-    Averages each coarse vertex's incident fine values (the adjoint of
-    the Estimate scatter); equivalent in spirit to Alg. 1's NewData means
-    but computable without replaying the collapse sequence.
-    """
-    fine = np.asarray(fine, dtype=np.float64)
-    sums = np.zeros(n_coarse)
-    counts = np.zeros(n_coarse)
-    tri = mapping.tri_vertices  # (n_fine, 3)
-    for corner in range(3):
-        np.add.at(sums, tri[:, corner], fine)
-        np.add.at(counts, tri[:, corner], 1.0)
-    # Coarse vertices not referenced by any fine vertex keep zero; guard.
-    return sums / np.maximum(counts, 1.0)
 
 
 class CampaignReader:

@@ -1,0 +1,409 @@
+"""Reusable decimation plans: decimate geometry once, replay per field.
+
+Algorithm 1's collapse sequence depends only on the mesh (for the
+paper's ``"length"`` priority), yet the seed write path re-ran the full
+heap loop for every timestep and every variable. A
+:class:`DecimationPlan` captures everything the write path needs from
+one geometry pass:
+
+* the level meshes ``G^0 .. G^{N−1}``;
+* one :class:`~repro.mesh.lineage.CollapseLineage` per step, so
+  coarsening any new field is a vectorized replay that is bit-identical
+  to re-running the collapse sequence on that field;
+* the fine→coarse :class:`~repro.core.mapping.LevelMapping` per step
+  (paper §III-E2), needed for delta calculation.
+
+Plans serialize to a single compressed-npz blob and are cached in a
+process-wide :class:`PlanCache` keyed by (mesh content fingerprint,
+level scheme, kernel, priority, placement, estimator) —
+:func:`~repro.core.refactor.refactor`,
+:class:`~repro.core.campaign.CampaignWriter` and
+:func:`~repro.core.parallel.encode_partitioned` all consult it, so a
+campaign decimates once and replays per timestep/variable.
+
+Only geometry-determined priorities are plan-eligible: ``"data_aware"``
+orders collapses by the field being written, and callables are opaque,
+so both bypass the cache (see :func:`plan_eligible`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.delta import compute_delta
+from repro.core.mapping import LevelMapping, build_mapping
+from repro.core.notation import LevelScheme
+from repro.errors import RefactoringError
+from repro.mesh.edge_collapse import KERNELS, decimate
+from repro.mesh.lineage import CollapseLineage
+from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
+
+__all__ = [
+    "DecimationPlan",
+    "PlanCache",
+    "build_plan",
+    "get_plan_cache",
+    "mesh_fingerprint",
+    "plan_eligible",
+]
+
+_FORMAT_VERSION = 1
+
+
+def mesh_fingerprint(mesh: TriangleMesh) -> str:
+    """Content hash of a mesh (vertex coordinates + connectivity)."""
+    h = hashlib.blake2b(digest_size=16)
+    v = np.ascontiguousarray(mesh.vertices, dtype=np.float64)
+    t = np.ascontiguousarray(mesh.triangles, dtype=np.int64)
+    h.update(np.int64(v.shape[0]).tobytes())
+    h.update(np.int64(t.shape[0]).tobytes())
+    h.update(v.tobytes())
+    h.update(t.tobytes())
+    return h.hexdigest()
+
+
+def plan_eligible(priority) -> bool:
+    """True when the collapse order is determined by geometry alone."""
+    return priority == "length"
+
+
+@dataclass
+class DecimationPlan:
+    """Replayable record of one full multi-level geometry refactoring.
+
+    Attributes
+    ----------
+    scheme:
+        The level progression the plan realizes.
+    meshes:
+        ``meshes[l]`` is ``G^l``; index 0 is the input mesh.
+    lineages:
+        ``lineages[l]`` replays the ``G^l → G^{l+1}`` collapse sequence
+        on any per-vertex field of ``G^l``.
+    mappings:
+        ``mappings[l]`` lifts level ``l+1`` estimates back to ``l``.
+    method / priority / placement / estimator:
+        The kernel configuration the plan was built with.
+    build_seconds:
+        Wall time of the one-time geometry pass (decimation + mapping).
+    """
+
+    scheme: LevelScheme
+    meshes: list[TriangleMesh]
+    lineages: list[CollapseLineage]
+    mappings: list[LevelMapping]
+    method: str = "serial"
+    priority: str = "length"
+    placement: str = "midpoint"
+    estimator: str = "mean"
+    build_seconds: float = 0.0
+    achieved_ratios: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return self.scheme.num_levels
+
+    def coarsen(self, data: np.ndarray) -> list[np.ndarray]:
+        """All level fields ``[L^0 .. L^{N−1}]`` for a new fine field.
+
+        Each step is a vectorized lineage replay — bit-identical to
+        running the recorded collapse sequence on ``data``. Accepts
+        ``(n,)`` or ``(planes, n)``.
+        """
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.shape[-1] != self.meshes[0].num_vertices:
+            raise RefactoringError(
+                f"data of shape {data.shape} does not match plan's "
+                f"{self.meshes[0].num_vertices} fine vertices"
+            )
+        levels = [data]
+        for lineage in self.lineages:
+            levels.append(lineage.replay(levels[-1]))
+        return levels
+
+    def deltas_for(
+        self, levels: list[np.ndarray], *, workers: int | None = None
+    ) -> list[np.ndarray]:
+        """Per-level deltas for already-coarsened level fields.
+
+        With ``workers > 1`` the per-level delta computations run on a
+        thread pool (NumPy releases the GIL in the gather/scatter
+        kernels).
+        """
+
+        def one_delta(lvl: int) -> np.ndarray:
+            return compute_delta(
+                levels[lvl], levels[lvl + 1], self.mappings[lvl]
+            )
+
+        delta_levels = list(self.scheme.delta_levels())
+        if workers and workers > 1 and len(delta_levels) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(delta_levels))
+            ) as pool:
+                return list(pool.map(one_delta, delta_levels))
+        return [one_delta(lvl) for lvl in delta_levels]
+
+    def refactor_fields(
+        self, data: np.ndarray, *, workers: int | None = None
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Levels and deltas for a new fine field (no geometry work)."""
+        levels = self.coarsen(data)
+        return levels, self.deltas_for(levels, workers=workers)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to one compressed-npz blob."""
+        arrays: dict[str, np.ndarray] = {
+            "meta": np.frombuffer(
+                json.dumps(
+                    {
+                        "version": _FORMAT_VERSION,
+                        "num_levels": self.scheme.num_levels,
+                        "step_ratio": self.scheme.step_ratio,
+                        "method": self.method,
+                        "priority": self.priority,
+                        "placement": self.placement,
+                        "estimator": self.estimator,
+                        "build_seconds": self.build_seconds,
+                        "achieved_ratios": list(self.achieved_ratios),
+                    }
+                ).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+        }
+        for lvl, mesh in enumerate(self.meshes):
+            arrays[f"mesh{lvl}_vertices"] = mesh.vertices
+            arrays[f"mesh{lvl}_triangles"] = mesh.triangles
+        for step, lineage in enumerate(self.lineages):
+            arrays.update(lineage.to_arrays(prefix=f"lineage{step}_"))
+        for step, mapping in enumerate(self.mappings):
+            arrays[f"mapping{step}"] = np.frombuffer(
+                mapping.to_bytes(), dtype=np.uint8
+            )
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "DecimationPlan":
+        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise RefactoringError(
+                f"unsupported plan format version {meta.get('version')!r}"
+            )
+        scheme = LevelScheme(
+            int(meta["num_levels"]), float(meta["step_ratio"])
+        )
+        meshes = [
+            TriangleMesh(
+                arrays[f"mesh{lvl}_vertices"],
+                arrays[f"mesh{lvl}_triangles"],
+                validate=False,
+            )
+            for lvl in range(scheme.num_levels)
+        ]
+        lineages = [
+            CollapseLineage.from_arrays(arrays, prefix=f"lineage{step}_")
+            for step in range(scheme.num_levels - 1)
+        ]
+        mappings = [
+            LevelMapping.from_bytes(bytes(arrays[f"mapping{step}"]))
+            for step in range(scheme.num_levels - 1)
+        ]
+        return cls(
+            scheme=scheme,
+            meshes=meshes,
+            lineages=lineages,
+            mappings=mappings,
+            method=str(meta["method"]),
+            priority=str(meta["priority"]),
+            placement=str(meta["placement"]),
+            estimator=str(meta["estimator"]),
+            build_seconds=float(meta["build_seconds"]),
+            achieved_ratios=[float(r) for r in meta["achieved_ratios"]],
+        )
+
+
+def build_plan(
+    mesh: TriangleMesh,
+    scheme: LevelScheme,
+    *,
+    method: str = "serial",
+    priority: str = "length",
+    placement: str = "midpoint",
+    estimator: str = "mean",
+) -> DecimationPlan:
+    """One geometry pass: decimate every level and build every mapping."""
+    if method not in KERNELS:
+        raise RefactoringError(
+            f"unknown decimation method {method!r}; expected one of {KERNELS}"
+        )
+    t0 = time.perf_counter()
+    meshes: list[TriangleMesh] = [mesh]
+    lineages: list[CollapseLineage] = []
+    ratios: list[float] = [1.0]
+    for step in range(scheme.num_levels - 1):
+        with trace.span(
+            "plan.decimate", "refactor",
+            {"level": step + 1, "vertices_in": meshes[-1].num_vertices,
+             "method": method},
+        ):
+            result = decimate(
+                meshes[-1], None, ratio=scheme.step_ratio,
+                priority=priority, placement=placement,
+                method=method, record_lineage=True,
+            )
+        meshes.append(result.mesh)
+        lineages.append(result.lineage)
+        ratios.append(mesh.num_vertices / result.mesh.num_vertices)
+    mappings = []
+    for lvl in scheme.delta_levels():
+        with trace.span("plan.mapping", "refactor", {"level": lvl}):
+            mappings.append(
+                build_mapping(
+                    meshes[lvl], meshes[lvl + 1], estimator=estimator
+                )
+            )
+    return DecimationPlan(
+        scheme=scheme,
+        meshes=meshes,
+        lineages=lineages,
+        mappings=mappings,
+        method=method,
+        priority=priority,
+        placement=placement,
+        estimator=estimator,
+        build_seconds=time.perf_counter() - t0,
+        achieved_ratios=ratios,
+    )
+
+
+class PlanCache:
+    """Process-wide LRU of :class:`DecimationPlan` keyed by content.
+
+    The key includes the mesh's content fingerprint, so two
+    structurally identical meshes share an entry while any geometry
+    change misses. Thread-safe; hit/miss counts are surfaced on the
+    active tracer ("plan.cache.hits"/"plan.cache.misses") so
+    ``repro trace`` shows whether a campaign actually reused its plan.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise RefactoringError("PlanCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, DecimationPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(
+        mesh: TriangleMesh,
+        scheme: LevelScheme,
+        *,
+        method: str,
+        priority: str,
+        placement: str,
+        estimator: str,
+    ) -> tuple:
+        return (
+            mesh_fingerprint(mesh),
+            scheme.num_levels,
+            scheme.step_ratio,
+            method,
+            priority,
+            placement,
+            estimator,
+        )
+
+    def get_or_build(
+        self,
+        mesh: TriangleMesh,
+        scheme: LevelScheme,
+        *,
+        method: str = "serial",
+        priority: str = "length",
+        placement: str = "midpoint",
+        estimator: str = "mean",
+    ) -> DecimationPlan:
+        """Return the cached plan for this configuration, building on miss."""
+        if not plan_eligible(priority):
+            raise RefactoringError(
+                f"priority {priority!r} is not plan-cacheable (collapse "
+                "order depends on field data)"
+            )
+        key = self.key_for(
+            mesh, scheme, method=method, priority=priority,
+            placement=placement, estimator=estimator,
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                self._count("plan.cache.hits")
+                return plan
+        # Build outside the lock: geometry passes are long and hitting
+        # threads must not serialize behind them. A concurrent duplicate
+        # build is harmless (last insert wins, both plans identical).
+        plan = build_plan(
+            mesh, scheme, method=method, priority=priority,
+            placement=placement, estimator=estimator,
+        )
+        with self._lock:
+            self.misses += 1
+            self._count("plan.cache.misses")
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+        return plan
+
+    @staticmethod
+    def _count(name: str) -> None:
+        tracer = trace.get_tracer()
+        if tracer is not None:
+            tracer.metrics.counter(name).inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+_default_cache = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide default plan cache."""
+    return _default_cache

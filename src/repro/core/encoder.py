@@ -39,6 +39,7 @@ from repro.core.refactor import RefactorResult, refactor
 from repro.errors import CanopusError
 from repro.io.dataset import BPDataset
 from repro.io.transports import Transport
+from repro.mesh.edge_collapse import KERNELS
 from repro.mesh.io import mesh_to_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
 from repro.obs import trace
@@ -114,6 +115,13 @@ class CanopusEncoder:
         ``Estimate()`` form (``"mean"`` or ``"barycentric"``).
     priority:
         Edge-collapse priority strategy.
+    method:
+        Decimation kernel: ``"serial"`` (Algorithm 1's heap loop,
+        default) or ``"batched"`` (round-based vectorized kernel).
+    workers:
+        With ``workers > 1``, per-level delta computation and codec
+        encodes overlap on a thread pool (NumPy and the codecs release
+        the GIL in their hot loops).
     chunks:
         Number of spatial chunks per delta (1 = monolithic).
     total_error_budget:
@@ -135,22 +143,35 @@ class CanopusEncoder:
         codec_params: dict | None = None,
         estimator: str = "mean",
         priority: str = "length",
+        method: str = "serial",
+        workers: int | None = None,
         chunks: int = 1,
         total_error_budget: float | None = None,
         transports: dict[str, Transport] | None = None,
+        use_plan_cache: bool = True,
     ) -> None:
         if chunks < 1:
             raise CanopusError("chunks must be >= 1")
         if total_error_budget is not None and total_error_budget <= 0:
             raise CanopusError("total_error_budget must be positive")
+        if method not in KERNELS:
+            raise CanopusError(
+                f"unknown decimation method {method!r}; "
+                f"expected one of {KERNELS}"
+            )
+        if workers is not None and workers < 1:
+            raise CanopusError("workers must be >= 1")
         self.hierarchy = hierarchy
         self.codec_name = codec
         self.codec_params = dict(codec_params or {})
         self.estimator = estimator
         self.priority = priority
+        self.method = method
+        self.workers = workers
         self.chunks = chunks
         self.total_error_budget = total_error_budget
         self.transports = transports
+        self.use_plan_cache = use_plan_cache
         # Fail fast on bad codec configuration.
         get_codec(codec, **self.codec_params)
 
@@ -178,11 +199,14 @@ class CanopusEncoder:
         )
         with trace.span(
             "encode.refactor", "refactor",
-            {"var": var, "levels": scheme.num_levels},
+            {"var": var, "levels": scheme.num_levels,
+             "method": self.method},
         ):
             result = refactor(
                 mesh, data, scheme,
                 estimator=self.estimator, priority=self.priority,
+                method=self.method, workers=self.workers,
+                use_plan_cache=self.use_plan_cache,
             )
         report.decimation_seconds = result.decimation_seconds
         report.delta_seconds = result.delta_seconds
@@ -225,13 +249,38 @@ class CanopusEncoder:
             "counts": [m.num_vertices for m in result.meshes],
         }
 
-        # Base product: field + mesh on the fastest tier.
+        # Compress every field/delta payload first — with workers > 1
+        # the codec encodes overlap on a thread pool (the codecs release
+        # the GIL in their hot loops) — then place the blobs in the same
+        # deterministic order as before.
         base_level = scheme.base_level
+        chunk_groups: dict[int, list[np.ndarray]] = {}
+        jobs: list[tuple[str, np.ndarray]] = [
+            ("base", result.base_field.ravel())
+        ]
+        for lvl in scheme.delta_levels():
+            delta = result.deltas[lvl]
+            if self.chunks == 1:
+                jobs.append((f"delta{lvl}", delta.ravel()))
+            else:
+                groups = _spatial_chunks(
+                    result.meshes[lvl].vertices, self.chunks
+                )
+                chunk_groups[lvl] = groups
+                for c, idx in enumerate(groups):
+                    jobs.append((f"chunk{lvl}/{c}", delta[..., idx].ravel()))
         t0 = time.perf_counter()
-        base_blob = codec.encode(result.base_field.ravel())
+        with trace.span(
+            "encode.compress", "compress",
+            {"var": var, "payloads": len(jobs),
+             "workers": self.workers or 1},
+        ):
+            blobs = self._encode_payloads(codec, jobs)
         report.compress_seconds += time.perf_counter() - t0
+
+        # Base product: field + mesh on the fastest tier.
         self._put(
-            ds, report, level_key(var, base_level), base_blob,
+            ds, report, level_key(var, base_level), blobs["base"],
             kind="base", level=base_level, count=result.base_field.size,
             codec=self.codec_name, tier=plan.base_tier,
             values=result.base_field,
@@ -246,13 +295,9 @@ class CanopusEncoder:
         for lvl in scheme.delta_levels():
             tier = plan.preferred_tier_for_delta(lvl)
             delta = result.deltas[lvl]
-            n_fine = delta.shape[-1]
             if self.chunks == 1:
-                t0 = time.perf_counter()
-                blob = codec.encode(delta.ravel())
-                report.compress_seconds += time.perf_counter() - t0
                 self._put(
-                    ds, report, delta_key(var, lvl), blob,
+                    ds, report, delta_key(var, lvl), blobs[f"delta{lvl}"],
                     kind="delta", level=lvl, count=delta.size,
                     codec=self.codec_name, tier=tier,
                     values=delta,
@@ -264,19 +309,17 @@ class CanopusEncoder:
                 # §III-E). Each chunk stores its vertex-index list (the
                 # scatter map) next to its delta values.
                 fine_mesh = result.meshes[lvl]
-                groups = _spatial_chunks(fine_mesh.vertices, self.chunks)
+                groups = chunk_groups[lvl]
                 for c, idx in enumerate(groups):
                     piece = delta[..., idx]
                     pts = fine_mesh.vertices[idx]
-                    t0 = time.perf_counter()
-                    blob = codec.encode(piece.ravel())
-                    report.compress_seconds += time.perf_counter() - t0
                     bbox = [
                         float(pts[:, 0].min()), float(pts[:, 1].min()),
                         float(pts[:, 0].max()), float(pts[:, 1].max()),
                     ]
                     self._put(
-                        ds, report, chunk_key(var, lvl, c), blob,
+                        ds, report, chunk_key(var, lvl, c),
+                        blobs[f"chunk{lvl}/{c}"],
                         kind="delta", level=lvl, count=piece.size,
                         codec=self.codec_name, tier=tier,
                         attrs={"chunk": c, "bbox": bbox, "n_vertices": len(idx)},
@@ -312,6 +355,21 @@ class CanopusEncoder:
             for key in list(report.placed_tiers):
                 report.placed_tiers[key] = ds.catalog.get(key).tier
         return report, result
+
+    # ------------------------------------------------------------------
+    def _encode_payloads(
+        self, codec, jobs: list[tuple[str, np.ndarray]]
+    ) -> dict[str, bytes]:
+        """Encode all payload arrays, overlapped when workers > 1."""
+        if self.workers and self.workers > 1 and len(jobs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(jobs))
+            ) as pool:
+                encoded = pool.map(codec.encode, (arr for _, arr in jobs))
+                return {tag: blob for (tag, _), blob in zip(jobs, encoded)}
+        return {tag: codec.encode(arr) for tag, arr in jobs}
 
     # ------------------------------------------------------------------
     @staticmethod

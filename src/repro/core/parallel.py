@@ -60,11 +60,12 @@ class PartitionedReport:
 def _encode_one_partition(args) -> tuple[int, dict, list, float]:
     """Worker: refactor + compress one patch (no I/O, no shared state)."""
     (index, vertices, triangles, data, num_levels, step_ratio, codec_name,
-     codec_params, estimator, priority) = args
+     codec_params, estimator, priority, method) = args
     t0 = time.perf_counter()
     mesh = TriangleMesh(vertices, triangles, validate=False)
     scheme = LevelScheme(num_levels, step_ratio)
-    result = refactor(mesh, data, scheme, estimator=estimator, priority=priority)
+    result = refactor(mesh, data, scheme, estimator=estimator,
+                      priority=priority, method=method)
     codec = get_codec(codec_name, **codec_params)
     products: dict[str, bytes] = {}
     meta: list = []
@@ -95,12 +96,17 @@ def encode_partitioned(
     codec_params: dict | None = None,
     estimator: str = "mean",
     priority: str = "length",
+    method: str = "serial",
 ) -> tuple[PartitionedReport, list[MeshPartition]]:
     """Partition, refactor each patch (optionally in parallel), write.
 
     ``processes=None`` runs patches sequentially in-process;
     ``processes=k`` uses a ``ProcessPoolExecutor`` — each worker is a
     stand-in for one MPI rank, exchanging zero data with its peers.
+    ``method`` selects the decimation kernel per patch (``"serial"`` or
+    ``"batched"``); in-process runs additionally reuse the shared plan
+    cache, so repeated encodes of the same partitions replay instead of
+    re-decimating.
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     if data.shape[-1] != mesh.num_vertices:
@@ -129,6 +135,7 @@ def encode_partitioned(
             codec_params,
             estimator,
             priority,
+            method,
         )
         for p in partitions
     ]

@@ -17,7 +17,9 @@ meshes carrying per-vertex floating-point fields. This subpackage provides:
 """
 
 from repro.mesh.triangle_mesh import TriangleMesh
-from repro.mesh.edge_collapse import DecimationResult, decimate
+from repro.mesh.edge_collapse import KERNELS, DecimationResult, decimate
+from repro.mesh.batch_collapse import decimate_batched
+from repro.mesh.lineage import CollapseLineage
 from repro.mesh.locate import TriangleLocator, barycentric_coordinates
 from repro.mesh.interpolation import interpolate_at_points, interpolate_to_grid
 from repro.mesh import generators, metrics
@@ -28,7 +30,10 @@ from repro.mesh.partition import MeshPartition, gather_field, partition_mesh
 __all__ = [
     "TriangleMesh",
     "DecimationResult",
+    "KERNELS",
     "decimate",
+    "decimate_batched",
+    "CollapseLineage",
     "TriangleLocator",
     "barycentric_coordinates",
     "interpolate_at_points",

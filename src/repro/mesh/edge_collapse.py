@@ -32,10 +32,15 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.errors import DecimationError
+from repro.mesh.lineage import CollapseLineage
 from repro.mesh.priority_queue import EdgePriorityQueue, edge_key
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import trace
 
-__all__ = ["decimate", "DecimationResult", "make_priority"]
+__all__ = ["decimate", "DecimationResult", "make_priority", "KERNELS"]
+
+#: Registered decimation kernels (see also :mod:`repro.mesh.batch_collapse`).
+KERNELS = ("serial", "batched")
 
 # An edge skipped this many times for link-condition violations is dropped
 # permanently; its neighborhood is evidently stuck non-manifold.
@@ -65,6 +70,10 @@ class DecimationResult:
         Number of pops rejected by the link condition.
     exhausted:
         True when the queue ran dry before the target ratio was reached.
+    lineage:
+        The replayable collapse record (present when the pass ran with
+        ``record_lineage=True``); see
+        :class:`~repro.mesh.lineage.CollapseLineage`.
     """
 
     mesh: TriangleMesh
@@ -74,6 +83,7 @@ class DecimationResult:
     skipped: int
     exhausted: bool = False
     queue_stats: dict[str, int] = field(default_factory=dict)
+    lineage: CollapseLineage | None = None
 
 
 def make_priority(
@@ -122,6 +132,8 @@ def decimate(
     priority: str | PriorityFn = "length",
     placement: str = "midpoint",
     strict: bool = False,
+    method: str = "serial",
+    record_lineage: bool = False,
 ) -> DecimationResult:
     """Decimate ``mesh`` by edge collapse until ``|V'| <= |V| / ratio``.
 
@@ -147,6 +159,14 @@ def decimate(
         When true, raise :class:`DecimationError` if the queue is
         exhausted before the target ratio; otherwise return what was
         achieved with ``exhausted=True``.
+    method:
+        ``"serial"`` — Algorithm 1's heap loop (this function);
+        ``"batched"`` — the round-based vectorized kernel
+        (:func:`repro.mesh.batch_collapse.decimate_batched`).
+    record_lineage:
+        When true, the result carries a
+        :class:`~repro.mesh.lineage.CollapseLineage` that replays the
+        collapse sequence on new fields bit-identically.
 
     Notes
     -----
@@ -155,6 +175,17 @@ def decimate(
     point location (see :mod:`repro.core.mapping`), exactly as the paper
     stores the vertex→triangle mapping in ADIOS metadata.
     """
+    if method not in KERNELS:
+        raise DecimationError(
+            f"unknown decimation method {method!r}; expected one of {KERNELS}"
+        )
+    if method == "batched":
+        from repro.mesh.batch_collapse import decimate_batched
+
+        return decimate_batched(
+            mesh, fields, ratio, priority=priority, placement=placement,
+            strict=strict, record_lineage=record_lineage,
+        )
     if ratio < 1.0:
         raise DecimationError(f"decimation ratio must be >= 1, got {ratio}")
     if placement not in ("midpoint", "endpoint"):
@@ -215,6 +246,7 @@ def decimate(
     skipped = 0
     skip_count: dict[tuple[int, int], int] = {}
     exhausted = False
+    merges: list[tuple[int, int, int]] = []
 
     # Paper's loop condition: continue while
     #   1 - vertices_cut / |V^{l+1}| < 1 - 1/d   ⇔   vertices remaining >
@@ -243,6 +275,8 @@ def decimate(
         # --- perform the collapse -----------------------------------------
         k = next_vertex
         next_vertex += 1
+        if record_lineage:
+            merges.append((u, v, k))
         if placement == "midpoint":
             pos[k] = (pos[u] + pos[v]) / 2.0  # NewVertex: midpoint
             for name in data:
@@ -321,6 +355,13 @@ def decimate(
     }
     out_mesh = TriangleMesh(vertices, triangles, validate=False)
     achieved = n0 / max(1, out_mesh.num_vertices)
+    lineage = None
+    if record_lineage:
+        lineage = CollapseLineage.from_sequence(
+            n0, merges, np.asarray(alive, dtype=np.int64),
+            placement=placement,
+        )
+    _record_queue_metrics(queue.stats, skipped)
     return DecimationResult(
         mesh=out_mesh,
         fields=out_fields,
@@ -329,4 +370,22 @@ def decimate(
         skipped=skipped,
         exhausted=exhausted,
         queue_stats=queue.stats,
+        lineage=lineage,
     )
+
+
+def _record_queue_metrics(stats: Mapping[str, int], skipped: int) -> None:
+    """Surface queue churn on the active tracer's metrics registry.
+
+    ``repro trace`` (and any :func:`repro.obs.trace_session` wrapped
+    around an encode) then reports heap traffic next to the span
+    timings; when no tracer is installed this is one global read.
+    """
+    tracer = trace.get_tracer()
+    if tracer is None:
+        return
+    metrics = tracer.metrics
+    metrics.counter("decimate.queue.pushes").inc(stats["pushes"])
+    metrics.counter("decimate.queue.stale_pops").inc(stats["stale_pops"])
+    metrics.counter("decimate.queue.link_skips").inc(skipped)
+    metrics.gauge("decimate.queue.heap_size").set(stats["heap_size"])

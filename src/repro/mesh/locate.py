@@ -92,21 +92,31 @@ class TriangleLocator:
         self._n = n_cells
 
         tri_pts = mesh.vertices[mesh.triangles]  # (m, 3, 2)
-        tlo = tri_pts.min(axis=1)
-        thi = tri_pts.max(axis=1)
-        ilo = self._cell_index(tlo)
-        ihi = self._cell_index(thi)
-        # Bucket triangle ids by every cell their bbox covers.
-        buckets: dict[int, list[int]] = {}
-        for t in range(mesh.num_triangles):
-            for cx in range(ilo[t, 0], ihi[t, 0] + 1):
-                base = cx * n_cells
-                for cy in range(ilo[t, 1], ihi[t, 1] + 1):
-                    buckets.setdefault(base + cy, []).append(t)
-        self._buckets = {
-            cell: np.asarray(tris, dtype=np.int64)
-            for cell, tris in buckets.items()
-        }
+        ilo = self._cell_index(tri_pts.min(axis=1))
+        ihi = self._cell_index(tri_pts.max(axis=1))
+        # Bucket triangle ids by every cell their bbox covers — CSR over
+        # the dense cell grid, built by expanding each triangle into its
+        # (bbox width × height) covered cells in one shot.
+        wx = ihi[:, 0] - ilo[:, 0] + 1
+        wy = ihi[:, 1] - ilo[:, 1] + 1
+        counts = wx * wy
+        tri_ids = np.repeat(
+            np.arange(mesh.num_triangles, dtype=np.int64), counts
+        )
+        offsets = np.concatenate([[0], np.cumsum(counts[:-1])])
+        local = np.arange(len(tri_ids), dtype=np.int64) - np.repeat(
+            offsets, counts
+        )
+        cx = ilo[tri_ids, 0] + local // wy[tri_ids]
+        cy = ilo[tri_ids, 1] + local % wy[tri_ids]
+        flat = cx * n_cells + cy
+        # Sort by cell, triangle id ascending within each bucket, so a
+        # query hitting several containing triangles picks the lowest id.
+        order = np.lexsort((tri_ids, flat))
+        self._bucket_tris = tri_ids[order]
+        self._bucket_indptr = np.searchsorted(
+            flat[order], np.arange(n_cells * n_cells + 1, dtype=np.int64)
+        )
         self._centroid_tree = cKDTree(mesh.triangle_centroids())
 
     def _cell_index(self, points: np.ndarray) -> np.ndarray:
@@ -134,34 +144,31 @@ class TriangleLocator:
 
         cells = self._cell_index(points)
         flat = cells[:, 0] * self._n + cells[:, 1]
-        order = np.argsort(flat, kind="stable")
-        mesh = self.mesh
-        verts = mesh.vertices
-        tris = mesh.triangles
+        verts = self.mesh.vertices
+        tris = self.mesh.triangles
 
-        # Process points cell by cell so the barycentric solve is a single
-        # vectorized (points-in-cell × candidates) computation.
-        start = 0
-        flat_sorted = flat[order]
-        while start < n:
-            end = start
-            cell = flat_sorted[start]
-            while end < n and flat_sorted[end] == cell:
-                end += 1
-            pidx = order[start:end]
-            start = end
-            cand = self._buckets.get(int(cell))
-            if cand is None:
-                continue
-            p = points[pidx]  # (P, 2)
-            tp = verts[tris[cand]]  # (C, 3, 2)
-            w = _bary_batch(p, tp)  # (P, C, 3)
-            inside = w.min(axis=2) >= -_INSIDE_EPS  # (P, C)
-            has = inside.any(axis=1)
-            first = np.argmax(inside, axis=1)
-            hit = pidx[has]
-            tri_ids[hit] = cand[first[has]]
-            bary[hit] = w[has, first[has]]
+        # One flat (point, candidate) pair expansion: every point is
+        # paired with each triangle bucketed in its cell, the barycentric
+        # solve runs over all pairs at once, and the first containing
+        # candidate per point (lowest triangle id) wins.
+        starts = self._bucket_indptr[flat]
+        counts = self._bucket_indptr[flat + 1] - starts
+        total = int(counts.sum())
+        if total:
+            pt = np.repeat(np.arange(n, dtype=np.int64), counts)
+            offsets = np.concatenate([[0], np.cumsum(counts[:-1])])
+            local = np.arange(total, dtype=np.int64) - np.repeat(
+                offsets, counts
+            )
+            cand = self._bucket_tris[np.repeat(starts, counts) + local]
+            w = barycentric_coordinates(points[pt], verts[tris[cand]])
+            inside = np.flatnonzero(w.min(axis=1) >= -_INSIDE_EPS)
+            # pt is non-decreasing, so the first occurrence of each point
+            # among the inside pairs is its lowest-id containing triangle.
+            hits, first = np.unique(pt[inside], return_index=True)
+            sel = inside[first]
+            tri_ids[hits] = cand[sel]
+            bary[hits] = w[sel]
 
         missing = np.flatnonzero(tri_ids < 0)
         if len(missing):
@@ -179,25 +186,3 @@ class TriangleLocator:
         if single:
             return tri_ids[:1], bary[:1]
         return tri_ids, bary
-
-
-def _bary_batch(points: np.ndarray, tri_points: np.ndarray) -> np.ndarray:
-    """Barycentric coords of each point w.r.t. each candidate triangle.
-
-    ``points``: (P, 2); ``tri_points``: (C, 3, 2) → result (P, C, 3).
-    """
-    a = tri_points[:, 0]  # (C, 2)
-    v0 = tri_points[:, 1] - a
-    v1 = tri_points[:, 2] - a
-    d00 = np.einsum("ij,ij->i", v0, v0)
-    d01 = np.einsum("ij,ij->i", v0, v1)
-    d11 = np.einsum("ij,ij->i", v1, v1)
-    denom = d00 * d11 - d01 * d01
-    safe = np.where(np.abs(denom) < 1e-300, 1.0, denom)
-    v2 = points[:, None, :] - a[None, :, :]  # (P, C, 2)
-    d20 = np.einsum("pcj,cj->pc", v2, v0)
-    d21 = np.einsum("pcj,cj->pc", v2, v1)
-    w1 = (d11 * d20 - d01 * d21) / safe
-    w2 = (d00 * d21 - d01 * d20) / safe
-    w0 = 1.0 - w1 - w2
-    return np.stack([w0, w1, w2], axis=2)

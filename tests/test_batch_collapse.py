@@ -1,0 +1,205 @@
+"""Tests for the round-based batched collapse kernel and lineage replay."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecimationError
+from repro.mesh import (
+    KERNELS,
+    CollapseLineage,
+    TriangleMesh,
+    decimate,
+    decimate_batched,
+)
+from repro.mesh.generators import annulus, disk, structured_rectangle
+from repro.obs import trace_session
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBatchedKernel:
+    def test_registered_kernel_names(self):
+        assert KERNELS == ("serial", "batched")
+
+    def test_reaches_target_ratio(self):
+        mesh = structured_rectangle(30, 30, jitter=0.2, seed=7)
+        result = decimate_batched(mesh, None, ratio=4.0)
+        assert result.achieved_ratio == pytest.approx(4.0, rel=0.05)
+        assert not result.exhausted
+
+    def test_dispatch_through_decimate(self):
+        mesh = structured_rectangle(15, 15)
+        direct = decimate_batched(mesh, None, ratio=2.0)
+        routed = decimate(mesh, None, ratio=2.0, method="batched")
+        assert np.array_equal(direct.mesh.vertices, routed.mesh.vertices)
+        assert np.array_equal(direct.mesh.triangles, routed.mesh.triangles)
+
+    def test_unknown_method_rejected(self):
+        mesh = structured_rectangle(5, 5)
+        with pytest.raises(DecimationError, match="unknown decimation method"):
+            decimate(mesh, None, ratio=2.0, method="bogus")
+
+    def test_output_mesh_is_valid(self):
+        mesh = disk(500, seed=3, jitter=0.3)
+        result = decimate_batched(mesh, None, ratio=4.0)
+        # Full validation: consistent indices, no degenerate/duplicate
+        # triangles, positive areas after canonical orientation.
+        TriangleMesh(result.mesh.vertices, result.mesh.triangles)
+
+    def test_fields_follow_the_mesh(self):
+        mesh = structured_rectangle(20, 20, jitter=0.1, seed=1)
+        field = np.sin(mesh.vertices[:, 0] * 5) * np.cos(mesh.vertices[:, 1])
+        result = decimate_batched(mesh, {"f": field}, ratio=2.0)
+        assert set(result.fields) == {"f"}
+        assert len(result.fields["f"]) == result.mesh.num_vertices
+        # Midpoint averaging keeps values inside the fine field's range.
+        assert result.fields["f"].min() >= field.min() - 1e-12
+        assert result.fields["f"].max() <= field.max() + 1e-12
+
+    def test_boundary_disk_stays_disk(self):
+        """Collapses touching boundary edges must not tear the hull open."""
+        mesh = disk(400, seed=1)
+        assert mesh.euler_characteristic() == 1
+        result = decimate_batched(mesh, None, ratio=4.0)
+        out = result.mesh
+        TriangleMesh(out.vertices, out.triangles)
+        assert out.euler_characteristic() == 1
+        assert len(out.boundary_vertices) >= 3
+        # The coarse hull stays inside the fine bounding box (midpoint
+        # placement never extrapolates).
+        lo, hi = mesh.bounding_box()
+        clo, chi = out.bounding_box()
+        assert np.all(clo >= lo - 1e-12) and np.all(chi <= hi + 1e-12)
+
+    def test_link_condition_retries_eventually_collapse(self):
+        """Blocked edges are penalized and retried, not dropped: the
+        kernel still reaches the target ratio after skipping."""
+        mesh = structured_rectangle(20, 20)
+        result = decimate_batched(mesh, None, ratio=8.0)
+        assert result.queue_stats["link_skips"] > 0
+        assert not result.exhausted
+        assert result.achieved_ratio == pytest.approx(8.0, rel=0.1)
+
+    def test_rounds_are_few(self):
+        """The whole point of batching: rounds ≪ collapses."""
+        mesh = structured_rectangle(40, 40, jitter=0.2, seed=2)
+        result = decimate_batched(mesh, None, ratio=2.0)
+        assert result.queue_stats["rounds"] <= 15
+        assert result.collapses > 30 * result.queue_stats["rounds"] / 15
+
+    def test_annulus_decimates_validly(self):
+        mesh = annulus(10, 36)
+        result = decimate_batched(mesh, None, ratio=4.0)
+        TriangleMesh(result.mesh.vertices, result.mesh.triangles)
+        assert result.achieved_ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(DecimationError):
+            decimate_batched(structured_rectangle(5, 5), None, ratio=0.5)
+
+    def test_field_length_mismatch_rejected(self):
+        mesh = structured_rectangle(5, 5)
+        with pytest.raises(DecimationError, match="values for"):
+            decimate_batched(mesh, {"f": np.zeros(7)}, ratio=2.0)
+
+    def test_deterministic_across_runs(self):
+        """Hash-based ranks are seedless: two runs are bit-identical."""
+        mesh = disk(600, seed=9, jitter=0.4)
+        a = decimate_batched(mesh, None, ratio=4.0)
+        b = decimate_batched(mesh, None, ratio=4.0)
+        assert np.array_equal(a.mesh.vertices, b.mesh.vertices)
+        assert np.array_equal(a.mesh.triangles, b.mesh.triangles)
+
+
+class TestLineageReplay:
+    @settings(**_SETTINGS)
+    @given(
+        nx=st.integers(8, 20),
+        ny=st.integers(8, 20),
+        seed=st.integers(0, 1000),
+        method=st.sampled_from(KERNELS),
+    )
+    def test_replay_bit_identical_to_direct(self, nx, ny, seed, method):
+        """Replaying the recorded collapse sequence on a field produces
+        exactly the bytes direct decimation-with-fields produces."""
+        mesh = structured_rectangle(nx, ny, jitter=0.3, seed=seed)
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=mesh.num_vertices)
+
+        direct = decimate(
+            mesh, {"f": field}, ratio=2.0, method=method,
+            record_lineage=True,
+        )
+        replayed = direct.lineage.replay(field)
+        assert replayed.dtype == np.float64
+        assert np.array_equal(replayed, direct.fields["f"])
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 1000), method=st.sampled_from(KERNELS))
+    def test_replay_stacked_planes(self, seed, method):
+        mesh = structured_rectangle(12, 12, jitter=0.2, seed=seed)
+        rng = np.random.default_rng(seed)
+        planes = rng.normal(size=(3, mesh.num_vertices))
+
+        geom = decimate(mesh, None, ratio=2.0, method=method,
+                        record_lineage=True)
+        stacked = geom.lineage.replay(planes)
+        assert stacked.shape == (3, geom.mesh.num_vertices)
+        for p in range(3):
+            assert np.array_equal(stacked[p], geom.lineage.replay(planes[p]))
+
+    def test_geometry_free_lineage_matches_with_fields(self):
+        """decimate(fields=None) records the same sequence as
+        decimate(fields=...) for the length priority."""
+        mesh = disk(300, seed=5)
+        field = mesh.vertices[:, 0] ** 2
+        for method in KERNELS:
+            geom = decimate(mesh, None, ratio=2.0, method=method,
+                            record_lineage=True)
+            with_f = decimate(mesh, {"f": field}, ratio=2.0, method=method)
+            assert np.array_equal(
+                geom.lineage.replay(field), with_f.fields["f"]
+            )
+
+    def test_lineage_round_trips_through_arrays(self):
+        mesh = structured_rectangle(10, 10, jitter=0.2, seed=4)
+        result = decimate_batched(mesh, None, ratio=2.0, record_lineage=True)
+        arrays = result.lineage.to_arrays(prefix="x_")
+        clone = CollapseLineage.from_arrays(arrays, prefix="x_")
+        field = np.arange(mesh.num_vertices, dtype=np.float64)
+        assert np.array_equal(clone.replay(field), result.lineage.replay(field))
+
+    def test_lineage_absent_without_flag(self):
+        result = decimate_batched(structured_rectangle(8, 8), None, ratio=2.0)
+        assert result.lineage is None
+
+
+class TestQueueObservability:
+    def test_serial_queue_counters_on_tracer(self):
+        with trace_session(None) as tracer:
+            decimate(structured_rectangle(15, 15), None, ratio=2.0)
+        snap = tracer.metrics.snapshot()
+        assert snap["decimate.queue.pushes"] > 0
+        assert snap["decimate.queue.stale_pops"] >= 0
+        assert "decimate.queue.heap_size" in snap
+
+    def test_batched_round_counters_on_tracer(self):
+        with trace_session(None) as tracer:
+            decimate(
+                structured_rectangle(15, 15), None, ratio=2.0,
+                method="batched",
+            )
+        snap = tracer.metrics.snapshot()
+        assert snap["decimate.batched.rounds"] > 0
+        assert snap["decimate.batched.collapses"] > 0
+
+    def test_no_tracer_no_error(self):
+        # The metrics hook must be a no-op outside a trace session.
+        decimate(structured_rectangle(8, 8), None, ratio=2.0)
+        decimate(structured_rectangle(8, 8), None, ratio=2.0, method="batched")

@@ -70,6 +70,33 @@ class TestEncodeInfoRestore:
         err = np.abs(fields["dpot"] - orig_fields["dpot"]).max()
         assert err <= 3e-4 * rng + 1e-12
 
+    def test_encode_batched_with_workers(self, generated, tmp_path, capsys):
+        mesh_path, root = generated
+        rc = main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--levels", "3", "--tolerance", "1e-4",
+             "--method", "batched", "--workers", "4"]
+        )
+        assert rc == 0
+        assert "dpot/L2" in capsys.readouterr().out
+        out_path = tmp_path / "restored.npz"
+        assert main(
+            ["restore", "run", "--var", "dpot", "--level", "0",
+             "--root", str(root), "--out", str(out_path)]
+        ) == 0
+        mesh, fields = load_mesh(out_path)
+        _, orig_fields = load_mesh(mesh_path)
+        err = np.abs(fields["dpot"] - orig_fields["dpot"]).max()
+        assert err <= 3e-4 * np.ptp(orig_fields["dpot"]) + 1e-12
+
+    def test_unknown_method_rejected_by_parser(self, generated):
+        mesh_path, root = generated
+        with pytest.raises(SystemExit):
+            main(
+                ["encode", str(mesh_path), "--field", "dpot", "--dataset",
+                 "x", "--root", str(root), "--method", "turbo"]
+            )
+
     def test_restore_intermediate_level(self, generated, tmp_path):
         self.encode(generated)
         mesh_path, root = generated

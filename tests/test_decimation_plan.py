@@ -1,0 +1,204 @@
+"""Tests for DecimationPlan: build, replay, serialization, and the cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecimationPlan,
+    LevelScheme,
+    PlanCache,
+    build_plan,
+    get_plan_cache,
+    mesh_fingerprint,
+    plan_eligible,
+    refactor,
+)
+from repro.errors import RefactoringError
+from repro.mesh.generators import structured_rectangle
+from repro.obs import trace_session
+
+
+@pytest.fixture
+def mesh():
+    return structured_rectangle(25, 25, jitter=0.3, seed=11)
+
+
+@pytest.fixture
+def field(mesh):
+    x, y = mesh.vertices[:, 0], mesh.vertices[:, 1]
+    return np.sin(4 * x) * np.cos(3 * y) + 0.2 * x
+
+
+class TestEligibility:
+    def test_length_is_eligible(self):
+        assert plan_eligible("length")
+
+    def test_data_aware_and_callables_are_not(self):
+        assert not plan_eligible("data_aware")
+        assert not plan_eligible(lambda u, v: 0.0)
+
+
+class TestFingerprint:
+    def test_identical_content_same_fingerprint(self, mesh):
+        clone = mesh.copy()
+        assert mesh_fingerprint(mesh) == mesh_fingerprint(clone)
+
+    def test_geometry_change_misses(self, mesh):
+        moved = mesh.copy()
+        v = np.array(moved.vertices)
+        v[0, 0] += 1e-9
+        from repro.mesh import TriangleMesh
+
+        other = TriangleMesh(v, moved.triangles, validate=False)
+        assert mesh_fingerprint(mesh) != mesh_fingerprint(other)
+
+
+class TestPlanReplay:
+    @pytest.mark.parametrize("method", ["serial", "batched"])
+    def test_coarsen_matches_direct_refactor(self, mesh, field, method):
+        scheme = LevelScheme(3)
+        plan = build_plan(mesh, scheme, method=method)
+        # use_plan_cache=False forces the decimate-with-fields loop, the
+        # seed's original code path.
+        direct = refactor(
+            mesh, field, scheme, method=method, use_plan_cache=False
+        )
+        levels = plan.coarsen(field)
+        assert len(levels) == scheme.num_levels
+        for got, want in zip(levels, direct.levels):
+            assert np.array_equal(got, want)
+
+    def test_refactor_fields_returns_both(self, mesh, field):
+        plan = build_plan(mesh, LevelScheme(3))
+        levels, deltas = plan.refactor_fields(field)
+        assert len(levels) == 3 and len(deltas) == 2
+        # Deltas reconstruct the finer level exactly (delta definition).
+        for lvl in (0, 1):
+            est = plan.mappings[lvl].estimate(levels[lvl + 1])
+            assert np.allclose(levels[lvl], est + deltas[lvl])
+
+    def test_parallel_deltas_bit_identical_to_serial(self, mesh, field):
+        plan = build_plan(mesh, LevelScheme(4))
+        levels = plan.coarsen(field)
+        serial = plan.deltas_for(levels, workers=None)
+        pooled = plan.deltas_for(levels, workers=4)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a, b)
+
+    def test_shape_mismatch_rejected(self, mesh):
+        plan = build_plan(mesh, LevelScheme(3))
+        with pytest.raises(RefactoringError, match="does not match"):
+            plan.coarsen(np.zeros(7))
+
+
+class TestSerialization:
+    def test_bytes_round_trip(self, mesh, field):
+        plan = build_plan(mesh, LevelScheme(3), method="batched")
+        clone = DecimationPlan.from_bytes(plan.to_bytes())
+        assert clone.scheme == plan.scheme
+        assert clone.method == "batched"
+        for got, want in zip(clone.coarsen(field), plan.coarsen(field)):
+            assert np.array_equal(got, want)
+        for a, b in zip(clone.meshes, plan.meshes):
+            assert np.array_equal(a.vertices, b.vertices)
+            assert np.array_equal(a.triangles, b.triangles)
+
+    def test_unknown_version_rejected(self, mesh):
+        import io
+        import json
+
+        plan = build_plan(mesh, LevelScheme(2))
+        blob = plan.to_bytes()
+        with np.load(io.BytesIO(blob)) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["version"] = 99
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        with pytest.raises(RefactoringError, match="version"):
+            DecimationPlan.from_bytes(buf.getvalue())
+
+
+class TestPlanCache:
+    def test_hit_on_identical_mesh_content(self, mesh):
+        cache = PlanCache()
+        scheme = LevelScheme(3)
+        p1 = cache.get_or_build(mesh, scheme)
+        p2 = cache.get_or_build(mesh.copy(), scheme)
+        assert p1 is p2
+        assert cache.stats == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_config_misses(self, mesh):
+        cache = PlanCache()
+        scheme = LevelScheme(3)
+        cache.get_or_build(mesh, scheme, method="serial")
+        cache.get_or_build(mesh, scheme, method="batched")
+        cache.get_or_build(mesh, LevelScheme(2), method="serial")
+        assert cache.stats["misses"] == 3 and cache.stats["hits"] == 0
+
+    def test_lru_eviction(self, mesh):
+        cache = PlanCache(maxsize=1)
+        cache.get_or_build(mesh, LevelScheme(2))
+        cache.get_or_build(mesh, LevelScheme(3))
+        assert len(cache) == 1
+        cache.get_or_build(mesh, LevelScheme(2))  # evicted -> rebuild
+        assert cache.stats["misses"] == 3
+
+    def test_ineligible_priority_raises(self, mesh):
+        with pytest.raises(RefactoringError, match="not plan-cacheable"):
+            PlanCache().get_or_build(mesh, LevelScheme(2), priority="data_aware")
+
+    def test_counters_on_tracer(self, mesh):
+        cache = PlanCache()
+        with trace_session(None) as tracer:
+            cache.get_or_build(mesh, LevelScheme(2))
+            cache.get_or_build(mesh, LevelScheme(2))
+        snap = tracer.metrics.snapshot()
+        assert snap["plan.cache.misses"] == 1
+        assert snap["plan.cache.hits"] == 1
+
+    def test_clear(self, mesh):
+        cache = PlanCache()
+        cache.get_or_build(mesh, LevelScheme(2))
+        cache.clear()
+        assert cache.stats == {"entries": 0, "hits": 0, "misses": 0}
+
+
+class TestRefactorIntegration:
+    def test_repeat_refactor_hits_process_cache(self, mesh, field):
+        get_plan_cache().clear()
+        scheme = LevelScheme(3)
+        r1 = refactor(mesh, field, scheme)
+        r2 = refactor(mesh, field * 2.0, scheme)
+        assert get_plan_cache().stats["hits"] >= 1
+        assert r1.plan is r2.plan
+        # Same geometry products, independent data products.
+        assert r1.meshes[-1] is r2.meshes[-1]
+        assert np.array_equal(r2.levels[-1], r1.levels[-1] * 2.0)
+
+    def test_plan_path_matches_uncached_direct(self, mesh, field):
+        """The cached replay path must be bit-identical to a refactor
+        that rebuilds geometry from scratch."""
+        get_plan_cache().clear()
+        scheme = LevelScheme(3)
+        cached = refactor(mesh, field, scheme)
+        plan = build_plan(mesh, scheme)
+        explicit = refactor(mesh, field, scheme, plan=plan)
+        for a, b in zip(cached.levels, explicit.levels):
+            assert np.array_equal(a, b)
+        for a, b in zip(cached.deltas, explicit.deltas):
+            assert np.array_equal(a, b)
+
+    def test_scheme_mismatch_rejected(self, mesh, field):
+        plan = build_plan(mesh, LevelScheme(2))
+        with pytest.raises(RefactoringError, match="plan was built for"):
+            refactor(mesh, field, LevelScheme(3), plan=plan)
+
+    def test_data_aware_bypasses_cache(self, mesh, field):
+        get_plan_cache().clear()
+        result = refactor(mesh, field, LevelScheme(2), priority="data_aware")
+        assert result.plan is None
+        assert get_plan_cache().stats["entries"] == 0

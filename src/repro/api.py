@@ -27,11 +27,19 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.campaign import CampaignReader, CampaignWriter, StepReport
+from repro.core.decode_engine import DecodeEngine
 from repro.core.decoder import CanopusDecoder, LevelData
 from repro.core.encoder import CanopusEncoder
 from repro.core.notation import LevelScheme
 from repro.core.parallel import PartitionedDecoder, encode_partitioned
 from repro.core.progressive import ProgressiveReader
+from repro.core.restored_cache import (
+    GeometryCache,
+    RestoredLevelCache,
+    dataset_fingerprint,
+    get_geometry_cache,
+    get_restored_cache,
+)
 from repro.errors import BPFormatError, CanopusError
 from repro.io.cache import RangeCache
 from repro.io.dataset import BPDataset
@@ -46,6 +54,7 @@ __all__ = [
     "open_dataset",
     "write_campaign",
     "read_progressive",
+    "read_progressive_many",
     "trace_session",
     # re-exported building blocks
     "BPDataset",
@@ -53,20 +62,26 @@ __all__ = [
     "CampaignWriter",
     "CanopusDecoder",
     "CanopusEncoder",
+    "DecodeEngine",
     "EngineStats",
+    "GeometryCache",
     "LevelData",
     "LevelScheme",
     "MetricsRegistry",
     "PartitionedDecoder",
     "ProgressiveReader",
     "RangeCache",
+    "RestoredLevelCache",
     "RetrievalEngine",
     "StepReport",
     "StorageHierarchy",
     "Tracer",
     "TriangleMesh",
+    "dataset_fingerprint",
     "encode_partitioned",
+    "get_geometry_cache",
     "get_registry",
+    "get_restored_cache",
     "parse_config",
     "two_tier_titan",
 ]
@@ -152,6 +167,7 @@ def read_progressive(
     *,
     pipeline: bool = True,
     lookahead: int = 2,
+    min_significance: float = 0.0,
 ) -> ProgressiveReader:
     """Progressive (level-by-level) reader for one variable.
 
@@ -159,12 +175,49 @@ def read_progressive(
     default: upcoming levels' byte ranges are prefetched through the
     retrieval engine while the current level decompresses, overlapping
     tier I/O with compute; restored fields stay bit-identical to the
-    serial path.
+    serial path. ``min_significance`` makes every refinement skip
+    chunks whose recorded correction magnitude is below the threshold
+    (bounded-lossy retrieval; requires the variable to be stored with
+    spatial chunks to save any I/O).
     """
     decoder = (
         dataset if isinstance(dataset, CanopusDecoder)
         else CanopusDecoder(dataset)
     )
     return ProgressiveReader(
-        decoder, var, pipeline=pipeline, lookahead=lookahead
+        decoder,
+        var,
+        pipeline=pipeline,
+        lookahead=lookahead,
+        min_significance=min_significance,
+    )
+
+
+def read_progressive_many(
+    dataset: BPDataset,
+    variables,
+    *,
+    level: int = 0,
+    workers: int | None = None,
+    region=None,
+    min_significance: float = 0.0,
+    use_restored_cache: bool = True,
+) -> dict[str, LevelData]:
+    """Restore several variables concurrently; returns ``{var: LevelData}``.
+
+    The :class:`DecodeEngine` fans the restore chains out over a thread
+    pool (``workers=None`` inherits the dataset engine's width), decodes
+    spatial chunks of each delta in parallel, shares decoded geometry
+    process-wide, and publishes/reuses finished levels through the
+    process-wide :class:`RestoredLevelCache` — a repeated call returns
+    cached fields with zero I/O. Results are bit-identical to restoring
+    each variable serially.
+    """
+    engine = DecodeEngine(
+        dataset,
+        workers=workers,
+        use_restored_cache=use_restored_cache,
+    )
+    return engine.restore_many(
+        variables, level, region=region, min_significance=min_significance
     )

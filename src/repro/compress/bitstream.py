@@ -6,10 +6,14 @@ and unpack fixed-width unsigned integers into a dense MSB-first bit
 stream using vectorized NumPy (``packbits``/shift tricks) — a Python
 per-bit loop would dominate the entire encode cost.
 
-Two layers:
+Three layers:
 
 * :func:`pack_uint` / :func:`unpack_uint` — bulk fixed-width codecs over
   whole arrays (the fast path);
+* :func:`unpack_uint_segments` — one-pass decode of many fixed-width
+  segments sharing a byte stream (the ZFP-style codec's per-(class,
+  width) groups), batched by width so the cost is a handful of NumPy
+  ops instead of one unpack call per group;
 * :class:`BitWriter` / :class:`BitReader` — a streaming interface for
   composing several bulk segments plus small scalar headers.
 """
@@ -20,7 +24,13 @@ import numpy as np
 
 from repro.errors import BitstreamError
 
-__all__ = ["pack_uint", "unpack_uint", "BitWriter", "BitReader"]
+__all__ = [
+    "pack_uint",
+    "unpack_uint",
+    "unpack_uint_segments",
+    "BitWriter",
+    "BitReader",
+]
 
 
 def pack_uint(values: np.ndarray, width: int) -> np.ndarray:
@@ -50,6 +60,33 @@ def pack_uint(values: np.ndarray, width: int) -> np.ndarray:
     shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
     bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
     return np.packbits(bits.ravel())
+
+
+def _bits_to_uint(bits: np.ndarray, width: int) -> np.ndarray:
+    """Combine a ``(count, width)`` MSB-first 0/1 matrix into uint64 values.
+
+    Two regimes, both far cheaper than a per-bit shift-and-sum over a
+    ``(count, width)`` uint64 temporary:
+
+    * tiny widths ride a float64 dot product (exact below 2**52);
+    * wider values are right-aligned into whole bytes, collapsed with one
+      ``np.packbits(axis=1)`` call, and the resulting <= 8 byte columns
+      are shift-OR'ed together.
+    """
+    if width <= 4:
+        weights = np.float64(2.0) ** np.arange(width - 1, -1, -1)
+        return (bits @ weights).astype(np.uint64)
+    # packbits pads the trailing partial byte with zeros on the right, so
+    # the packed bytes hold ``value << pad`` — one final shift fixes it.
+    nbytes = (width + 7) // 8
+    by = np.packbits(bits, axis=1)
+    out = by[:, 0].astype(np.uint64)
+    for k in range(1, nbytes):
+        out = (out << np.uint64(8)) | by[:, k]
+    pad = nbytes * 8 - width
+    if pad:
+        out >>= np.uint64(pad)
+    return out
 
 
 def unpack_uint(
@@ -83,10 +120,72 @@ def unpack_uint(
     bits = np.unpackbits(packed[first_byte:last_byte])
     start = bit_offset - first_byte * 8
     bits = bits[start : start + count * width].reshape(count, width)
-    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-    return (bits.astype(np.uint64) << shifts[None, :]).sum(
-        axis=1, dtype=np.uint64
-    )
+    return _bits_to_uint(bits, width)
+
+
+def unpack_uint_segments(
+    packed: np.ndarray,
+    segments: list[tuple[int, int, int]],
+) -> list[np.ndarray]:
+    """Decode many fixed-width segments of one bit stream in bulk.
+
+    Parameters
+    ----------
+    packed:
+        uint8 array holding the shared bit stream.
+    segments:
+        ``(bit_offset, count, width)`` triples, in any order. Segments
+        may not overlap bits they do not own, but gaps (padding) between
+        them are fine.
+
+    Returns
+    -------
+    One uint64 array per segment, in the order given.
+
+    The stream's bits are expanded exactly once (``np.unpackbits``),
+    then segments are decoded *grouped by width*: all values of one
+    width — across every segment that uses it — are stacked and handed
+    to one :func:`_bits_to_uint` call. A payload with dozens of small
+    groups (the ZFP-style codec's class×width layout) costs a few NumPy
+    ops per distinct width instead of per group.
+    """
+    if not segments:
+        return []
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    end_bit = 0
+    for bit_offset, count, width in segments:
+        if not 0 <= width <= 64:
+            raise BitstreamError(f"width must be in [0, 64], got {width}")
+        if count < 0 or bit_offset < 0:
+            raise BitstreamError("negative count/bit_offset")
+        end_bit = max(end_bit, bit_offset + count * width)
+    if end_bit > packed.size * 8:
+        raise BitstreamError(
+            f"bitstream underflow: need {end_bit} bits, have {packed.size * 8}"
+        )
+    bits = np.unpackbits(packed[: (end_bit + 7) // 8])
+
+    results: list[np.ndarray | None] = [None] * len(segments)
+    by_width: dict[int, list[int]] = {}
+    for i, (bit_offset, count, width) in enumerate(segments):
+        if width == 0 or count == 0:
+            results[i] = np.zeros(count, dtype=np.uint64)
+        else:
+            by_width.setdefault(width, []).append(i)
+
+    for width, idxs in by_width.items():
+        counts = [segments[i][1] for i in idxs]
+        chunks = [
+            bits[segments[i][0] : segments[i][0] + n * width].reshape(n, width)
+            for i, n in zip(idxs, counts)
+        ]
+        stacked = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        values = _bits_to_uint(stacked, width)
+        pos = 0
+        for i, n in zip(idxs, counts):
+            results[i] = values[pos : pos + n]
+            pos += n
+    return results  # type: ignore[return-value]
 
 
 class BitWriter:

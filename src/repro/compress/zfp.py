@@ -37,7 +37,7 @@ import struct
 import numpy as np
 
 from repro.compress.base import Compressor, register_codec
-from repro.compress.bitstream import pack_uint, unpack_uint
+from repro.compress.bitstream import pack_uint, unpack_uint, unpack_uint_segments
 from repro.compress.lossless import shuffle_compress, shuffle_decompress
 from repro.errors import CompressionError
 
@@ -284,9 +284,14 @@ class ZFPCompressor(Compressor):
         ).astype(np.int64)
         body = np.frombuffer(payload, dtype=np.uint8, offset=offset + width_nbytes)
 
-        u = np.zeros((nblocks, BLOCK), dtype=np.uint64)
+        # Walk the class-major / ascending-width group layout once to
+        # recover every group's (bit offset, member count, width), then
+        # decode all groups in one batched pass — the widths header
+        # fully determines the layout, and each group was packed
+        # separately so it starts and ends on a byte boundary.
+        groups: list[tuple[int, int, np.ndarray]] = []  # (class, width, sel)
+        segments: list[tuple[int, int, int]] = []
         bitpos = 0
-        pos = 0
         for c, size in enumerate(CLASS_SIZES):
             wc = widths[:, c]
             for w in np.unique(wc):
@@ -294,12 +299,18 @@ class ZFPCompressor(Compressor):
                     continue
                 sel = wc == w
                 n_members = int(sel.sum()) * size
-                vals = unpack_uint(body, n_members, int(w), bitpos)
-                # Each (class, width) group was packed separately on the
-                # encode side, so it starts and ends on a byte boundary.
+                groups.append((c, int(w), sel))
+                segments.append((bitpos, n_members, int(w)))
                 bitpos += (n_members * int(w) + 7) // 8 * 8
-                u[sel, pos : pos + size] = vals.reshape(-1, size)
-            pos += size
+
+        u = np.zeros((nblocks, BLOCK), dtype=np.uint64)
+        class_pos = np.concatenate(([0], np.cumsum(CLASS_SIZES)))
+        for (c, _w, sel), vals in zip(
+            groups, unpack_uint_segments(body, segments)
+        ):
+            size = CLASS_SIZES[c]
+            pos = int(class_pos[c])
+            u[sel, pos : pos + size] = vals.reshape(-1, size)
 
         coeffs = _unzigzag(u)
         q = _inverse_transform(coeffs)

@@ -1,0 +1,253 @@
+"""Parallel read-side decode engine (the write path's mirror).
+
+PR 3 gave the write side a batched kernel + plan replay + a parallel
+compress stage; this module does the same for the paper's analytics loop
+(Fig. 1 right, Alg. 3). A :class:`DecodeEngine` wraps one open dataset
+and restores *many* variables (or one variable many times) as fast as
+the hardware allows:
+
+* **Fan-out** — ``restore_many()`` restores multiple variables
+  concurrently on a thread pool. Before any worker starts, every
+  chain's byte ranges are hinted to the retrieval engine as one
+  overlapped batch, so the simulated I/O charge is deterministic (it is
+  made at submit time, independent of thread scheduling) and workers
+  overlap decompression with each other's fetches.
+* **Shared caches** — the engine turns on the process-wide
+  :class:`~repro.core.restored_cache.GeometryCache` (each mesh/mapping
+  decoded once per dataset content, not once per decoder) and
+  :class:`~repro.core.restored_cache.RestoredLevelCache` (a second
+  session asking for an already-restored (var, level) gets it back with
+  zero I/O; a finer request warm-starts from the closest cached level).
+* **Parallel chunk decode** — the underlying
+  :class:`~repro.core.decoder.CanopusDecoder` decodes spatial chunks of
+  one delta on the same worker budget (disjoint vertex sets, so the
+  scatter is order-independent).
+
+Results are bit-identical to the serial seed path: parallelism changes
+*when* bytes move and which CPU decodes them, never what is applied.
+
+Filtered retrieval (``region`` / ``min_significance``) composes with the
+fan-out; filtered chains are cached under their exact filter key and
+never substituted for full-accuracy results, and the upfront prefetch is
+skipped for them (the engine cannot know which chunks the filter keeps —
+same rule as :class:`~repro.core.progressive.ProgressiveReader`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.decoder import CanopusDecoder, LevelData, PhaseTimings
+from repro.core.restored_cache import (
+    RestoredLevelCache,
+    get_restored_cache,
+)
+from repro.errors import RestorationError
+from repro.io.dataset import BPDataset
+from repro.obs import trace
+
+__all__ = ["DecodeEngine"]
+
+
+def _counter(name: str, n: int = 1) -> None:
+    tracer = trace.get_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(name).inc(n)
+
+
+class DecodeEngine:
+    """Concurrent multi-variable restore over one open dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The open dataset to decode from.
+    workers:
+        Thread-pool width for the variable fan-out *and* the per-delta
+        chunk decode. ``None`` inherits the retrieval engine's width.
+    use_restored_cache:
+        Consult/publish the process-wide restored-level cache.
+    pipeline / lookahead:
+        Forwarded to :meth:`CanopusDecoder.restore_to` — prefetch the
+        next ``lookahead`` levels while the current delta decodes.
+    """
+
+    def __init__(
+        self,
+        dataset: BPDataset,
+        *,
+        workers: int | None = None,
+        use_restored_cache: bool = True,
+        pipeline: bool = True,
+        lookahead: int = 2,
+    ) -> None:
+        if workers is None:
+            workers = getattr(dataset.engine, "workers", 4)
+        if workers < 1:
+            raise RestorationError("DecodeEngine workers must be >= 1")
+        self.dataset = dataset
+        self.workers = int(workers)
+        self.use_restored_cache = use_restored_cache
+        self.pipeline = pipeline
+        self.lookahead = lookahead
+        self.decoder = CanopusDecoder(
+            dataset, workers=workers, share_geometry=True
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def _cache(self) -> RestoredLevelCache | None:
+        return get_restored_cache() if self.use_restored_cache else None
+
+    def variables(self) -> list[str]:
+        return self.decoder.variables()
+
+    # ------------------------------------------------------------------
+    def restore(
+        self,
+        var: str,
+        level: int = 0,
+        *,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> LevelData:
+        """Restore one variable to ``level`` (cached, pipelined)."""
+        with trace.span(
+            "decode.restore", "restore",
+            {"var": var, "level": level,
+             "filtered": region is not None or min_significance > 0.0},
+        ):
+            if region is None and min_significance == 0.0:
+                return self.decoder.restore_to(
+                    var,
+                    level,
+                    pipeline=self.pipeline,
+                    lookahead=self.lookahead,
+                    use_cache=self.use_restored_cache,
+                )
+            return self._restore_filtered(var, level, region, min_significance)
+
+    def _restore_filtered(
+        self,
+        var: str,
+        level: int,
+        region: tuple[np.ndarray, np.ndarray] | None,
+        min_significance: float,
+    ) -> LevelData:
+        """Filtered chain: the filter applies at *every* refinement step.
+
+        Warm-starting from an unfiltered cached level would apply the
+        upper deltas unfiltered — a different (finer) result than the
+        filtered chain from the base — so filtered chains only ever
+        exact-hit entries stored under the same filter key.
+        """
+        decoder = self.decoder
+        scheme = decoder.scheme(var)
+        scheme.validate_level(level)
+        cache = self._cache
+        if cache is not None:
+            hit = cache.get(
+                cache.key_for(
+                    self.dataset, var, level,
+                    region=region, min_significance=min_significance,
+                )
+            )
+            if hit is not None:
+                timings = PhaseTimings()
+                mesh = decoder._read_mesh(var, level, timings)
+                return LevelData(
+                    var=var,
+                    level=level,
+                    mesh=mesh,
+                    field=hit.field.copy(),
+                    timings=timings,
+                    refined_mask=(
+                        None
+                        if hit.refined_mask is None
+                        else hit.refined_mask.copy()
+                    ),
+                    last_delta_rms=hit.last_delta_rms,
+                )
+        state = decoder.read_base(var)
+        while state.level > level:
+            state = decoder.refine(
+                state, region=region, min_significance=min_significance
+            )
+        if cache is not None:
+            cache.put(
+                cache.key_for(
+                    self.dataset, var, level,
+                    region=region, min_significance=min_significance,
+                ),
+                state.field,
+                refined_mask=state.refined_mask,
+                last_delta_rms=state.last_delta_rms,
+            )
+        return state
+
+    # ------------------------------------------------------------------
+    def _chain_keys(self, var: str, level: int) -> list[str]:
+        """Every catalog key an unfiltered restore chain will touch."""
+        decoder = self.decoder
+        scheme = decoder.scheme(var)
+        keys = list(decoder.base_keys(var))
+        for lvl in range(scheme.base_level - 1, level - 1, -1):
+            keys.extend(decoder.level_keys(var, lvl))
+        return keys
+
+    def restore_many(
+        self,
+        variables,
+        level: int = 0,
+        *,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> dict[str, LevelData]:
+        """Restore several variables concurrently; ``{var: LevelData}``.
+
+        Bit-identical to calling :meth:`restore` serially for each
+        variable. For unfiltered requests every chain's byte ranges are
+        prefetched as one overlapped batch *before* the fan-out, making
+        the simulated I/O charge independent of thread scheduling.
+        """
+        variables = list(variables)
+        if not variables:
+            return {}
+        filtered = region is not None or min_significance > 0.0
+        with trace.span(
+            "decode.restore_many", "restore",
+            {"vars": len(variables), "level": level, "workers": self.workers},
+        ):
+            _counter("decode.restore_many.calls")
+            _counter("decode.restore_many.vars", len(variables))
+            if not filtered:
+                cache = self._cache
+                keys: list[str] = []
+                for var in variables:
+                    if cache is not None and cache.has(
+                        cache.key_for(self.dataset, var, level)
+                    ):
+                        continue  # no bytes needed for this chain
+                    keys.extend(self._chain_keys(var, level))
+                if keys:
+                    self.dataset.prefetch(
+                        keys, label="decode_engine:restore_many"
+                    )
+
+            def _one(var: str) -> LevelData:
+                return self.restore(
+                    var, level,
+                    region=region, min_significance=min_significance,
+                )
+
+            if self.workers > 1 and len(variables) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(variables)),
+                    thread_name_prefix="repro-restore",
+                ) as pool:
+                    results = list(pool.map(_one, variables))
+            else:
+                results = [_one(v) for v in variables]
+        return dict(zip(variables, results))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.core.notation import (
     mapping_key,
     mesh_key,
 )
+from repro.core.restored_cache import get_geometry_cache, get_restored_cache
 from repro.errors import RestorationError
 from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
@@ -77,11 +79,42 @@ class LevelData:
 
 
 class CanopusDecoder:
-    """Configured Canopus read pipeline over an open dataset."""
+    """Configured Canopus read pipeline over an open dataset.
 
-    def __init__(self, dataset: BPDataset) -> None:
+    Parameters
+    ----------
+    dataset:
+        The open dataset to read from.
+    workers:
+        Thread-pool width for parallel chunk decode inside one delta
+        read. ``None`` inherits the retrieval engine's worker count;
+        ``1`` forces the serial path (chunk loop in submission order —
+        results are bit-identical either way because spatial chunks
+        cover disjoint vertex sets).
+    share_geometry:
+        Consult/populate the process-wide :class:`GeometryCache` so
+        decoder instances over the same dataset bytes decode each mesh
+        and mapping once. Per-instance caches remain as a lock-free L1.
+        Off by default so standalone decoders keep the seed's per-
+        instance I/O accounting; :class:`~repro.core.decode_engine.DecodeEngine`
+        and the :mod:`repro.api` façade turn it on.
+    """
+
+    def __init__(
+        self,
+        dataset: BPDataset,
+        *,
+        workers: int | None = None,
+        share_geometry: bool = False,
+    ) -> None:
         self.dataset = dataset
         self._clock = dataset.hierarchy.clock
+        if workers is None:
+            workers = getattr(dataset.engine, "workers", 1)
+        if workers < 1:
+            raise RestorationError("decoder workers must be >= 1")
+        self.workers = int(workers)
+        self.share_geometry = share_geometry
         self._mapping_cache: dict[str, LevelMapping] = {}
         self._mesh_cache: dict[str, TriangleMesh] = {}
 
@@ -117,11 +150,18 @@ class CanopusDecoder:
         cached = self._mesh_cache.get(key)
         if cached is not None:
             return cached
+        if self.share_geometry:
+            shared = get_geometry_cache().get(self.dataset, key)
+            if shared is not None:
+                self._mesh_cache[key] = shared
+                return shared
         blob = self._timed_read(key, timings)
         t0 = time.perf_counter()
         mesh = mesh_from_bytes(blob)
         timings.decompress_seconds += time.perf_counter() - t0
         self._mesh_cache[key] = mesh
+        if self.share_geometry:
+            get_geometry_cache().put(self.dataset, key, mesh)
         return mesh
 
     def prefetch_geometry(self, var: str) -> PhaseTimings:
@@ -171,9 +211,17 @@ class CanopusDecoder:
         """
         meta = self._var_meta(var)
         keys: list[str] = []
-        if mapping_key(var, level) not in self._mapping_cache:
+
+        def _decoded(cache: dict, key: str) -> bool:
+            if key in cache:
+                return True
+            return self.share_geometry and get_geometry_cache().has(
+                self.dataset, key
+            )
+
+        if not _decoded(self._mapping_cache, mapping_key(var, level)):
             keys.append(mapping_key(var, level))
-        if mesh_key(var, level) not in self._mesh_cache:
+        if not _decoded(self._mesh_cache, mesh_key(var, level)):
             keys.append(mesh_key(var, level))
         chunks = int(meta.get("chunks", 1))
         if chunks == 1:
@@ -192,11 +240,12 @@ class CanopusDecoder:
         scheme = self.scheme(var)
         base_level = scheme.base_level
         keys = [level_key(var, base_level)]
-        if (
-            mesh_key(var, base_level) not in self._mesh_cache
-            and mesh_key(var, base_level) in self.dataset.catalog
-        ):
-            keys.append(mesh_key(var, base_level))
+        mkey = mesh_key(var, base_level)
+        decoded = mkey in self._mesh_cache or (
+            self.share_geometry and get_geometry_cache().has(self.dataset, mkey)
+        )
+        if not decoded and mkey in self.dataset.catalog:
+            keys.append(mkey)
         return [k for k in keys if k in self.dataset.catalog]
 
     def prefetch_levels(self, var: str, levels, *, label: str = "") -> int:
@@ -222,11 +271,18 @@ class CanopusDecoder:
         cached = self._mapping_cache.get(key)
         if cached is not None:
             return cached
+        if self.share_geometry:
+            shared = get_geometry_cache().get(self.dataset, key)
+            if shared is not None:
+                self._mapping_cache[key] = shared
+                return shared
         blob = self._timed_read(key, timings)
         t0 = time.perf_counter()
         mapping = LevelMapping.from_bytes(blob)
         timings.decompress_seconds += time.perf_counter() - t0
         self._mapping_cache[key] = mapping
+        if self.share_geometry:
+            get_geometry_cache().put(self.dataset, key, mapping)
         return mapping
 
     # ------------------------------------------------------------------
@@ -288,6 +344,7 @@ class CanopusDecoder:
         shape = (planes, n_fine) if planes else (n_fine,)
         delta = np.zeros(shape, dtype=np.float64)
         applied = np.zeros(n_fine, dtype=bool)
+        wanted: list = []
         for c in range(n_chunks):
             rec = self.dataset.inq(chunk_key(var, level, c))
             if region is not None:
@@ -299,16 +356,49 @@ class CanopusDecoder:
                 stats = rec.attrs.get("stats")
                 if stats is not None and stats["vabs_max"] < min_significance:
                     continue  # provably insignificant correction
-            idx_blob = self._timed_read(rec.key + "/idx", timings)
-            blob = self._timed_read(rec.key, timings)
-            t0 = time.perf_counter()
-            idx = np.frombuffer(zlib.decompress(idx_blob), dtype="<i8")
-            piece = decode_auto(blob)
+            wanted.append(rec)
+        if not wanted:
+            return delta, applied
+
+        # One overlapped batch for every surviving chunk's index + payload
+        # (coalesced per subfile, tiers in parallel), then decode chunks on
+        # the thread pool. Each spatial chunk owns a disjoint vertex set,
+        # so the scatters never overlap and the result is bit-identical to
+        # the serial loop regardless of completion order.
+        before = self._clock.elapsed
+        blobs = self.dataset.read_many(
+            [k for rec in wanted for k in (rec.key + "/idx", rec.key)],
+            label=f"{var}:delta{level}",
+        )
+        timings.io_seconds += self._clock.elapsed - before
+
+        def _decode_chunk(rec) -> None:
+            idx = np.frombuffer(
+                zlib.decompress(blobs[rec.key + "/idx"]), dtype="<i8"
+            )
+            piece = decode_auto(blobs[rec.key])
             if planes:
                 piece = piece.reshape(planes, len(idx))
             delta[..., idx] = piece
-            timings.decompress_seconds += time.perf_counter() - t0
             applied[idx] = True
+
+        t0 = time.perf_counter()
+        if self.workers > 1 and len(wanted) > 1:
+            with trace.span(
+                "decode.chunks", "restore",
+                {"var": var, "level": level, "chunks": len(wanted),
+                 "workers": self.workers},
+            ):
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(wanted)),
+                    thread_name_prefix="repro-decode",
+                ) as pool:
+                    # list() propagates the first worker exception.
+                    list(pool.map(_decode_chunk, wanted))
+        else:
+            for rec in wanted:
+                _decode_chunk(rec)
+        timings.decompress_seconds += time.perf_counter() - t0
         return delta, applied
 
     def refine(
@@ -349,10 +439,13 @@ class CanopusDecoder:
             t0 = time.perf_counter()
             field_ = apply_delta(state.field, delta, mapping)
             timings.restore_seconds += time.perf_counter() - t0
+            # NaN (not 0.0) when no chunk survived the region/significance
+            # filter: "nothing was read" must not look like "the delta
+            # converged", or refine_until() would stop spuriously.
             rms = (
                 float(np.sqrt(np.mean(delta[..., applied] ** 2)))
                 if applied.any()
-                else 0.0
+                else float("nan")
             )
         return LevelData(
             var=var,
@@ -364,11 +457,94 @@ class CanopusDecoder:
             last_delta_rms=rms,
         )
 
-    def restore_to(self, var: str, level: int) -> LevelData:
-        """Restore from the base down to ``level`` (paper options 2/3)."""
+    def _prefetch_window(
+        self, var: str, next_target: int, lookahead: int, floor: int
+    ) -> float:
+        """Hint the next ``lookahead`` refinement levels; return sim cost.
+
+        Unlike the interactive reader, ``restore_to`` knows the final
+        target, so the window never reaches below ``floor`` — no charge
+        for deltas the chain will not apply.
+        """
+        if next_target < floor:
+            return 0.0
+        before = self._clock.elapsed
+        levels = range(next_target, max(floor - 1, next_target - lookahead), -1)
+        self.prefetch_levels(var, levels, label=f"{var}:pipeline")
+        return self._clock.elapsed - before
+
+    def restore_to(
+        self,
+        var: str,
+        level: int,
+        *,
+        pipeline: bool = True,
+        lookahead: int = 2,
+        use_cache: bool = False,
+    ) -> LevelData:
+        """Restore from the base down to ``level`` (paper options 2/3).
+
+        With ``pipeline=True`` (default) upcoming levels' byte ranges are
+        hinted to the retrieval engine before each refinement, so the
+        non-interactive path gets the same overlapped I/O charge as
+        :class:`~repro.core.progressive.ProgressiveReader`; the restored
+        field is bit-identical either way. ``use_cache=True`` additionally
+        consults the process-wide :class:`RestoredLevelCache`: an exact
+        (var, level) hit returns immediately, and a cached coarser level
+        warm-starts the chain; every level restored on the way down is
+        published back to the cache.
+        """
+        if lookahead < 1:
+            raise RestorationError("lookahead must be >= 1")
         scheme = self.scheme(var)
         scheme.validate_level(level)
-        state = self.read_base(var)
+        cache = get_restored_cache() if use_cache else None
+        state: LevelData | None = None
+        if cache is not None:
+            hit = cache.get(cache.key_for(self.dataset, var, level))
+            warm = hit if hit is not None else cache.warmest(
+                self.dataset, var, level
+            )
+            if warm is not None:
+                timings = PhaseTimings()
+                mesh = self._read_mesh(var, warm.level, timings)
+                state = LevelData(
+                    var=var,
+                    level=warm.level,
+                    mesh=mesh,
+                    field=warm.field.copy(),
+                    timings=timings,
+                    last_delta_rms=warm.last_delta_rms,
+                )
+                if warm.level == level:
+                    return state
+        if state is None:
+            prefetch_io = 0.0
+            if pipeline:
+                before = self._clock.elapsed
+                self.dataset.prefetch(self.base_keys(var), label=f"{var}:base")
+                prefetch_io = self._clock.elapsed - before
+                prefetch_io += self._prefetch_window(
+                    var, scheme.base_level - 1, lookahead, level
+                )
+            state = self.read_base(var)
+            state.timings.io_seconds += prefetch_io
+            if cache is not None:
+                cache.put(
+                    cache.key_for(self.dataset, var, state.level), state.field
+                )
         while state.level > level:
+            prefetch_io = 0.0
+            if pipeline:
+                prefetch_io = self._prefetch_window(
+                    var, state.level - 1, lookahead, level
+                )
             state = self.refine(state)
+            state.timings.io_seconds += prefetch_io
+            if cache is not None:
+                cache.put(
+                    cache.key_for(self.dataset, var, state.level),
+                    state.field,
+                    last_delta_rms=state.last_delta_rms,
+                )
         return state

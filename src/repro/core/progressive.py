@@ -44,6 +44,11 @@ class ProgressiveReader:
     lookahead:
         How many refinement levels to keep in flight ahead of the
         current one (≥ 1 when pipelining).
+    min_significance:
+        Default significance threshold applied by every refinement:
+        chunks whose recorded ``|max|`` correction is below it are
+        skipped (bounded-lossy focused retrieval, decoder §). Individual
+        :meth:`refine` calls can override it.
     """
 
     def __init__(
@@ -53,14 +58,18 @@ class ProgressiveReader:
         *,
         pipeline: bool = False,
         lookahead: int = 2,
+        min_significance: float = 0.0,
     ) -> None:
         if lookahead < 1:
             raise RestorationError("lookahead must be >= 1")
+        if min_significance < 0.0:
+            raise RestorationError("min_significance must be >= 0")
         self.decoder = decoder
         self.var = var
         self.scheme = decoder.scheme(var)
         self.pipeline = pipeline
         self.lookahead = lookahead
+        self.min_significance = min_significance
         self._state: LevelData | None = None
 
     # ------------------------------------------------------------------
@@ -127,26 +136,34 @@ class ProgressiveReader:
 
     # ------------------------------------------------------------------
     def refine(
-        self, *, region: tuple[np.ndarray, np.ndarray] | None = None
+        self,
+        *,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float | None = None,
     ) -> LevelData:
         """Fetch the next delta and lift one level.
 
         When pipelining, the level after this one starts fetching before
-        the current delta is decompressed/applied; region-restricted
-        refinement disables the hint for that step (the engine cannot
-        know which chunks the region will touch).
+        the current delta is decompressed/applied; region-restricted or
+        significance-pruned refinement disables the hint for that step
+        (the engine cannot know which chunks the filter will keep).
+        ``min_significance=None`` uses the reader-wide default.
         """
         if self.at_full_accuracy:
             raise RestorationError("already at full accuracy")
+        if min_significance is None:
+            min_significance = self.min_significance
         target = self.state.level - 1
         with trace.span(
             "progressive.refine", "pipeline",
             {"var": self.var, "target": target},
         ):
             prefetch_io = 0.0
-            if self.pipeline and region is None:
+            if self.pipeline and region is None and min_significance == 0.0:
                 prefetch_io = self._prefetch_window(target)
-            self._state = self.decoder.refine(self.state, region=region)
+            self._state = self.decoder.refine(
+                self.state, region=region, min_significance=min_significance
+            )
             self._state.timings.io_seconds += prefetch_io
         return self._state
 
@@ -156,6 +173,8 @@ class ProgressiveReader:
         rms_tolerance: float | None = None,
         stop: Callable[[LevelData], bool] | None = None,
         max_level: int = 0,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float | None = None,
     ) -> LevelData:
         """Refine until a termination criterion fires.
 
@@ -165,17 +184,25 @@ class ProgressiveReader:
             Stop when the RMS of the applied delta drops below this —
             the next correction would move the field less than the
             tolerance, so further accuracy is unlikely to change
-            conclusions.
+            conclusions. Steps that applied *nothing* (every chunk
+            filtered out) report NaN and never trigger this stop.
         stop:
             Arbitrary predicate on the refined state (e.g. "blob count
             stopped changing"). Checked after every refinement.
         max_level:
             Do not refine below this level (0 = full accuracy).
+        region / min_significance:
+            Forwarded to every :meth:`refine` step (focused /
+            significance-pruned retrieval).
         """
         if rms_tolerance is None and stop is None:
             raise RestorationError("need rms_tolerance and/or stop predicate")
         while self.state.level > max_level:
-            state = self.refine()
+            state = self.refine(
+                region=region, min_significance=min_significance
+            )
+            # NaN rms (nothing applied) compares False here, so a fully
+            # filtered step can never fake convergence.
             if rms_tolerance is not None and state.last_delta_rms <= rms_tolerance:
                 break
             if stop is not None and stop(state):

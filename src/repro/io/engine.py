@@ -166,6 +166,11 @@ class RetrievalEngine:
         self._inflight: dict[tuple[str, int, int], Future] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Thread-pool width (read-only; decoders inherit it by default)."""
+        return self._workers
+
     def _executor(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compress.bitstream import BitReader, BitWriter, pack_uint, unpack_uint
+from repro.compress.bitstream import (
+    BitReader,
+    BitWriter,
+    pack_uint,
+    unpack_uint,
+    unpack_uint_segments,
+)
 from repro.errors import BitstreamError
 
 
@@ -64,6 +70,42 @@ class TestPackUnpack:
         packed = pack_uint(vals, width)
         assert len(packed) == (n * width + 7) // 8
         assert np.array_equal(unpack_uint(packed, n, width), vals)
+
+
+class TestUnpackSegments:
+    def test_matches_per_segment_unpack(self):
+        rng = np.random.default_rng(3)
+        parts = []
+        segments = []
+        bitpos = 0
+        for width in (3, 7, 13, 5, 13, 64):
+            n = int(rng.integers(1, 40))
+            hi = 2**width if width < 64 else 2**64
+            vals = rng.integers(0, hi, size=n, dtype=np.uint64)
+            parts.append(pack_uint(vals, width))
+            segments.append((bitpos, n, width))
+            # byte-aligned joints, as the ZFP-style group layout produces
+            bitpos += (n * width + 7) // 8 * 8
+        stream = np.concatenate(parts)
+        got = unpack_uint_segments(stream, segments)
+        for (off, n, width), out in zip(segments, got):
+            assert np.array_equal(out, unpack_uint(stream, n, width, off))
+
+    def test_empty_and_zero_width_segments(self):
+        assert unpack_uint_segments(np.zeros(4, np.uint8), []) == []
+        out = unpack_uint_segments(
+            np.zeros(4, np.uint8), [(0, 0, 5), (0, 3, 0)]
+        )
+        assert out[0].size == 0
+        assert np.array_equal(out[1], np.zeros(3, dtype=np.uint64))
+
+    def test_underflow_raises(self):
+        with pytest.raises(BitstreamError):
+            unpack_uint_segments(np.zeros(1, np.uint8), [(0, 4, 5)])
+
+    def test_bad_width_raises(self):
+        with pytest.raises(BitstreamError):
+            unpack_uint_segments(np.zeros(8, np.uint8), [(0, 1, 65)])
 
 
 class TestWriterReader:

@@ -1,0 +1,324 @@
+"""Tests for the parallel decode engine and the shared read-side caches.
+
+Covers the PR-4 acceptance points: parallel chunk decode and
+multi-variable fan-out are bit-identical to the serial seed path
+(including region + min_significance filtered retrieval, whose chunk
+scatter order must not matter), the process-wide restored-level and
+geometry caches are correct and thread-safe under concurrent
+``restore_many``, and the ``refine_until`` NaN-rms regression stays
+fixed.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DecodeEngine,
+    dataset_fingerprint,
+    get_geometry_cache,
+    get_restored_cache,
+    read_progressive,
+    read_progressive_many,
+)
+from repro.core import CanopusDecoder, CanopusEncoder, LevelScheme
+from repro.core.campaign import CampaignReader, CampaignWriter
+from repro.errors import RestorationError
+from repro.io import BPDataset
+from repro.simulations import make_xgc1
+from repro.storage import two_tier_titan
+
+TOL = 1e-5
+CHUNKS = 16
+VARS = ["dpot", "apar", "dden"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Each test starts and ends with empty process-wide caches."""
+    get_restored_cache().clear()
+    get_geometry_cache().clear()
+    yield
+    get_restored_cache().clear()
+    get_geometry_cache().clear()
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    src = make_xgc1(scale=0.25)
+    rng = np.random.default_rng(11)
+    fields = {
+        "dpot": src.field,
+        "apar": 0.5 * src.field + 0.1 * rng.standard_normal(src.field.shape),
+        "dden": np.abs(src.field),
+    }
+    h = two_tier_titan(
+        tmp_path_factory.mktemp("engine"),
+        fast_capacity=64 << 20,
+        slow_capacity=1 << 36,
+    )
+    enc = CanopusEncoder(
+        h, codec="zfp", codec_params={"tolerance": TOL, "mode": "relative"},
+        chunks=CHUNKS,
+    )
+    ds_w = BPDataset.create("run", h)
+    for var, f in fields.items():
+        enc.encode("run", var, src.mesh, f, LevelScheme(3),
+                   dataset=ds_w, close=False)
+    ds_w.close()
+    return src, fields, h
+
+
+def _serial_restore(h, var, level=0, *, region=None, min_significance=0.0):
+    """The seed path: one decoder, workers=1, no pipeline, no caches."""
+    dec = CanopusDecoder(BPDataset.open("run", h), workers=1)
+    if region is None and min_significance == 0.0:
+        return dec.restore_to(var, level, pipeline=False)
+    state = dec.read_base(var)
+    while state.level > level:
+        state = dec.refine(
+            state, region=region, min_significance=min_significance
+        )
+    return state
+
+
+class TestBitIdentity:
+    def test_restore_many_matches_serial(self, setup):
+        _, fields, h = setup
+        serial = {v: _serial_restore(h, v) for v in fields}
+        engine = DecodeEngine(BPDataset.open("run", h), workers=4)
+        out = engine.restore_many(list(fields), 0)
+        for var in fields:
+            assert np.array_equal(out[var].field, serial[var].field)
+
+    def test_parallel_chunk_decode_matches_serial(self, setup):
+        _, _, h = setup
+        serial = _serial_restore(h, "dpot")
+        parallel = CanopusDecoder(
+            BPDataset.open("run", h), workers=8
+        ).restore_to("dpot", 0, pipeline=True)
+        assert np.array_equal(parallel.field, serial.field)
+
+    def test_region_and_significance_parallel_vs_serial(self, setup):
+        src, _, h = setup
+        center = src.mesh.vertices[int(np.argmax(src.field))]
+        region = (center - 0.4, center + 0.4)
+        ms = 0.02 * float(np.abs(src.field).max())
+        serial = _serial_restore(
+            h, "dpot", region=region, min_significance=ms
+        )
+        engine = DecodeEngine(BPDataset.open("run", h), workers=8)
+        out = engine.restore(
+            "dpot", 0, region=region, min_significance=ms
+        )
+        # Chunk scatter order must not matter: disjoint vertex sets.
+        assert np.array_equal(out.field, serial.field)
+        assert np.array_equal(out.refined_mask, serial.refined_mask)
+
+    def test_facade_matches_serial(self, setup):
+        _, fields, h = setup
+        serial = {v: _serial_restore(h, v, 1) for v in fields}
+        out = read_progressive_many(
+            BPDataset.open("run", h), list(fields), level=1
+        )
+        for var in fields:
+            assert out[var].level == 1
+            assert np.array_equal(out[var].field, serial[var].field)
+
+
+class TestRestoredLevelCache:
+    def test_second_restore_reads_zero_bytes(self, setup):
+        _, _, h = setup
+        engine = DecodeEngine(BPDataset.open("run", h), workers=4)
+        first = engine.restore("dpot", 0)
+        before = h.clock.bytes_moved(op="read")
+        second = engine.restore("dpot", 0)
+        assert h.clock.bytes_moved(op="read") == before  # geometry cached too
+        assert np.array_equal(second.field, first.field)
+        assert get_restored_cache().hits >= 1
+
+    def test_warm_start_from_coarser_level(self, setup):
+        _, _, h = setup
+        engine = DecodeEngine(BPDataset.open("run", h), workers=4)
+        engine.restore("dpot", 1)
+        serial = _serial_restore(h, "dpot", 0)
+        bytes_before = h.clock.bytes_moved(op="read")
+        full = engine.restore("dpot", 0)
+        warm_bytes = h.clock.bytes_moved(op="read") - bytes_before
+
+        get_restored_cache().clear()
+        bytes_before = h.clock.bytes_moved(op="read")
+        engine2 = DecodeEngine(BPDataset.open("run", h), workers=4)
+        cold = engine2.restore("dpot", 0)
+        cold_bytes = h.clock.bytes_moved(op="read") - bytes_before
+        assert np.array_equal(full.field, serial.field)
+        assert np.array_equal(cold.field, serial.field)
+        # Warm start skips the base + upper delta payloads.
+        assert warm_bytes < cold_bytes
+
+    def test_filtered_entries_are_not_substituted(self, setup):
+        src, _, h = setup
+        engine = DecodeEngine(BPDataset.open("run", h), workers=4)
+        ms = 0.05 * float(np.abs(src.field).max())
+        pruned = engine.restore("dpot", 0, min_significance=ms)
+        full = engine.restore("dpot", 0)
+        serial = _serial_restore(h, "dpot", 0)
+        assert np.array_equal(full.field, serial.field)
+        assert not np.array_equal(pruned.field, full.field)
+        # The filtered result is cached under its own key and hits too.
+        again = engine.restore("dpot", 0, min_significance=ms)
+        assert np.array_equal(again.field, pruned.field)
+
+    def test_cached_field_is_immutable_snapshot(self, setup):
+        _, _, h = setup
+        engine = DecodeEngine(BPDataset.open("run", h), workers=4)
+        first = engine.restore("dpot", 0)
+        first.field[...] = -1.0  # callers own their copy
+        second = engine.restore("dpot", 0)
+        assert not np.array_equal(second.field, first.field)
+
+    def test_fingerprint_distinguishes_datasets(self, setup, tmp_path):
+        src, _, h = setup
+        h2 = two_tier_titan(
+            tmp_path, fast_capacity=64 << 20, slow_capacity=1 << 36
+        )
+        enc = CanopusEncoder(
+            h2, codec="zfp",
+            codec_params={"tolerance": TOL, "mode": "relative"},
+        )
+        enc.encode("run", "dpot", src.mesh, 2.0 * src.field, LevelScheme(3))
+        ds_a = BPDataset.open("run", h)
+        ds_b = BPDataset.open("run", h2)
+        assert dataset_fingerprint(ds_a) != dataset_fingerprint(ds_b)
+        a = DecodeEngine(ds_a, workers=2).restore("dpot", 0)
+        b = DecodeEngine(ds_b, workers=2).restore("dpot", 0)
+        assert not np.array_equal(a.field, b.field)
+
+    def test_eviction_keeps_budget(self, setup):
+        from repro.core.restored_cache import RestoredLevelCache
+
+        _, _, h = setup
+        ds = BPDataset.open("run", h)
+        small = RestoredLevelCache(max_bytes=4096)
+        for lvl in (2, 1):
+            small.put(
+                small.key_for(ds, "x", lvl), np.zeros(256, dtype=np.float64)
+            )
+        assert small.stats()["bytes"] <= 4096
+        # An entry larger than the whole budget is never cached.
+        small.put(small.key_for(ds, "y", 0), np.zeros(4096, dtype=np.float64))
+        assert not small.has(small.key_for(ds, "y", 0))
+
+
+class TestThreadSafety:
+    def test_concurrent_restore_many_is_consistent(self, setup):
+        _, fields, h = setup
+        serial = {v: _serial_restore(h, v) for v in fields}
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                engine = DecodeEngine(BPDataset.open("run", h), workers=2)
+                results.append(engine.restore_many(list(fields), 0))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 4
+        for out in results:
+            for var in fields:
+                assert np.array_equal(out[var].field, serial[var].field)
+
+    def test_geometry_cache_shared_across_decoders(self, setup):
+        _, _, h = setup
+        engine = DecodeEngine(BPDataset.open("run", h), workers=2)
+        engine.restore("dpot", 0)
+        geo = get_geometry_cache()
+        assert geo.stats()["entries"] > 0
+        # A second engine over the same bytes decodes no new geometry.
+        before = geo.misses
+        engine2 = DecodeEngine(BPDataset.open("run", h), workers=2)
+        engine2.restore("dpot", 1)
+        assert geo.misses == before
+
+
+class TestRmsRegression:
+    def test_refine_until_does_not_stop_on_empty_step(self, setup):
+        src, _, h = setup
+        ms = 1e12  # prunes every chunk: nothing applied per step
+        reader = read_progressive(
+            BPDataset.open("run", h), "dpot", min_significance=ms
+        )
+        final = reader.refine_until(rms_tolerance=1e-9, max_level=0)
+        # NaN rms on empty steps must not fake convergence: the loop
+        # runs all the way down instead of stopping after one step.
+        assert final.level == 0
+        assert np.isnan(final.last_delta_rms)
+
+    def test_empty_refine_reports_nan(self, setup):
+        _, _, h = setup
+        dec = CanopusDecoder(BPDataset.open("run", h))
+        state = dec.refine(dec.read_base("dpot"), min_significance=1e12)
+        assert not state.refined_mask.any()
+        assert np.isnan(state.last_delta_rms)
+
+
+class TestCampaignRestoreMany:
+    def test_matches_serial_restore(self, setup, tmp_path):
+        src, _, h_unused = setup
+        h = two_tier_titan(
+            tmp_path, fast_capacity=64 << 20, slow_capacity=1 << 36
+        )
+        writer = CampaignWriter(
+            h, "camp", "dpot", src.mesh, LevelScheme(3),
+            codec="zfp", codec_params={"tolerance": TOL, "mode": "relative"},
+        )
+        rng = np.random.default_rng(5)
+        for step in range(4):
+            writer.write_step(
+                step, src.field + 0.01 * step * rng.standard_normal(src.field.shape)
+            )
+        writer.close()
+
+        serial_reader = CampaignReader(h, "camp")
+        serial = {s: serial_reader.restore(s, 0) for s in range(4)}
+        reader = CampaignReader(h, "camp")
+        out = reader.restore_many(workers=4)
+        assert sorted(out) == [0, 1, 2, 3]
+        for step in range(4):
+            assert np.array_equal(out[step].field, serial[step].field)
+
+    def test_rejects_unknown_step(self, setup, tmp_path):
+        src, _, _ = setup
+        h = two_tier_titan(
+            tmp_path, fast_capacity=64 << 20, slow_capacity=1 << 36
+        )
+        writer = CampaignWriter(
+            h, "camp2", "dpot", src.mesh, LevelScheme(2),
+            codec="zfp", codec_params={"tolerance": TOL, "mode": "relative"},
+        )
+        writer.write_step(0, src.field)
+        writer.close()
+        reader = CampaignReader(h, "camp2")
+        with pytest.raises(RestorationError):
+            reader.restore_many([0, 99])
+
+
+class TestEngineValidation:
+    def test_bad_workers(self, setup):
+        _, _, h = setup
+        with pytest.raises(RestorationError):
+            DecodeEngine(BPDataset.open("run", h), workers=0)
+        with pytest.raises(RestorationError):
+            CanopusDecoder(BPDataset.open("run", h), workers=0)
+
+    def test_empty_restore_many(self, setup):
+        _, _, h = setup
+        assert DecodeEngine(BPDataset.open("run", h)).restore_many([]) == {}

@@ -72,7 +72,9 @@ class TestSignificancePrunedRefinement:
         dec = _decoder(h)
         state = dec.refine(dec.read_base("dpot"), min_significance=1e12)
         assert not state.refined_mask.any()
-        assert state.last_delta_rms == 0.0
+        # NaN, not 0.0: an empty refinement must not read as "converged"
+        # (refine_until would otherwise stop spuriously).
+        assert np.isnan(state.last_delta_rms)
 
     def test_composes_with_region(self, setup):
         ds, h = setup

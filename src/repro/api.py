@@ -16,8 +16,16 @@ One blessed import surface for the common workflows::
   Chrome trace-event JSON (see :mod:`repro.obs`).
 
 The classes behind these helpers are re-exported here too, so
-``repro.api`` is a stable one-stop namespace; the historical deep import
-paths (``repro.io.api`` etc.) keep working through deprecation shims.
+``repro.api`` is a stable one-stop namespace. (The historical
+``repro.io.api`` shim, deprecated since PR 1, has been removed.)
+
+Storage is pluggable end to end: pass ``backend=`` to
+:func:`~repro.storage.hierarchy.two_tier_titan` (or build tiers over
+any :class:`~repro.storage.backend.ObjectStore` from
+:func:`~repro.storage.backend.make_backend`), and pick the placement
+policy per dataset with ``placement="walk"`` (fastest-first capacity
+walk) or ``"cost"`` (the explainable
+:class:`~repro.storage.placement.PlacementEngine` plan).
 """
 
 from __future__ import annotations
@@ -47,7 +55,20 @@ from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.xmlconfig import parse_config
 from repro.mesh.triangle_mesh import TriangleMesh
 from repro.obs import MetricsRegistry, Tracer, get_registry, trace_session
+from repro.storage.backend import (
+    FilesystemBackend,
+    MemoryBackend,
+    ObjectStore,
+    ShardedBackend,
+    make_backend,
+)
 from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
+from repro.storage.placement import (
+    PlacementEngine,
+    PlacementPlan,
+    ProductSpec,
+)
+from repro.storage.policy import TierManager
 
 __all__ = [
     # helpers (the blessed entry points)
@@ -64,17 +85,25 @@ __all__ = [
     "CanopusEncoder",
     "DecodeEngine",
     "EngineStats",
+    "FilesystemBackend",
     "GeometryCache",
     "LevelData",
     "LevelScheme",
+    "MemoryBackend",
     "MetricsRegistry",
+    "ObjectStore",
     "PartitionedDecoder",
+    "PlacementEngine",
+    "PlacementPlan",
+    "ProductSpec",
     "ProgressiveReader",
     "RangeCache",
     "RestoredLevelCache",
     "RetrievalEngine",
+    "ShardedBackend",
     "StepReport",
     "StorageHierarchy",
+    "TierManager",
     "Tracer",
     "TriangleMesh",
     "dataset_fingerprint",
@@ -82,6 +111,7 @@ __all__ = [
     "get_geometry_cache",
     "get_registry",
     "get_restored_cache",
+    "make_backend",
     "parse_config",
     "two_tier_titan",
 ]
@@ -96,12 +126,16 @@ def open_dataset(
     verify_checksums: bool = True,
     cache_bytes: int = 64 << 20,
     workers: int = 4,
+    placement: str = "walk",
 ) -> BPDataset:
     """Open (``mode="r"``) or create (``mode="w"``) a BP dataset.
 
     Every read goes through the dataset's retrieval engine: checksum
     verification, a ``cache_bytes``-budgeted LRU range cache, and up to
     ``workers`` concurrent range fetches for batched/prefetched reads.
+    ``placement`` selects the write-side policy: the paper's
+    fastest-first capacity ``walk`` or the ``cost``-based
+    :class:`PlacementEngine` plan applied at close.
     """
     if mode not in ("r", "w"):
         raise BPFormatError(f"mode must be 'r' or 'w', not {mode!r}")
@@ -113,6 +147,7 @@ def open_dataset(
         verify_checksums=verify_checksums,
         cache_bytes=cache_bytes,
         workers=workers,
+        placement=placement,
     )
 
 
@@ -128,6 +163,7 @@ def write_campaign(
     codec_params: dict | None = None,
     estimator: str = "mean",
     priority: str = "length",
+    placement: str = "walk",
 ) -> list[StepReport]:
     """Canopus-encode a timestep series and flush it to the hierarchy.
 
@@ -153,6 +189,7 @@ def write_campaign(
         codec_params=codec_params,
         estimator=estimator,
         priority=priority,
+        placement=placement,
     )
     try:
         reports = [writer.write_step(step, data) for step, data in items]

@@ -32,9 +32,18 @@ from repro.io import BPDataset
 from repro.mesh.edge_collapse import KERNELS
 from repro.mesh.io import load_mesh, save_mesh
 from repro.simulations import dataset_names, make_dataset
-from repro.storage import two_tier_titan
+from repro.storage import BACKEND_KINDS, two_tier_titan
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_backend_arg(sub) -> None:
+    sub.add_argument(
+        "--backend", choices=BACKEND_KINDS, default="filesystem",
+        help="object-store backend for each tier (use the same value "
+        "for every command touching one --root; 'memory' does not "
+        "persist across commands)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,14 +80,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast-capacity", type=int, default=64 << 20,
         help="fast-tier capacity in bytes",
     )
+    enc.add_argument(
+        "--placement", choices=("walk", "cost"), default="walk",
+        help="product placement: fastest-first capacity walk (paper "
+        "default) or close-time cost-based plan",
+    )
+    _add_backend_arg(enc)
 
     info = sub.add_parser("info", help="list a dataset's products (bpls-like)")
     info.add_argument("dataset")
     info.add_argument("--root", required=True)
+    _add_backend_arg(info)
 
-    fsck = sub.add_parser("fsck", help="verify a dataset's integrity")
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify a dataset's integrity (catalog products + per-tier "
+        "backend inventory)",
+    )
     fsck.add_argument("dataset")
     fsck.add_argument("--root", required=True)
+    _add_backend_arg(fsck)
 
     res = sub.add_parser("restore", help="restore variable(s) to a level")
     res.add_argument(
@@ -102,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="decode thread-pool width (default: the retrieval "
         "engine's worker count)",
     )
+    _add_backend_arg(res)
 
     tr = sub.add_parser(
         "trace",
@@ -123,12 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pipeline", action="store_true",
         help="disable I/O/compute overlap in the progressive read",
     )
+    _add_backend_arg(tr)
     return parser
 
 
-def _hierarchy(root: str, fast_capacity: int = 64 << 20):
+def _hierarchy(
+    root: str, fast_capacity: int = 64 << 20, backend: str = "filesystem"
+):
     return two_tier_titan(
-        Path(root), fast_capacity=fast_capacity, slow_capacity=1 << 40
+        Path(root), fast_capacity=fast_capacity, slow_capacity=1 << 40,
+        backend=backend,
     )
 
 
@@ -151,13 +177,13 @@ def _cmd_encode(args) -> int:
         raise ReproError(
             f"{args.mesh} has no field {args.field!r}; found {sorted(fields)}"
         )
-    hierarchy = _hierarchy(args.root, args.fast_capacity)
+    hierarchy = _hierarchy(args.root, args.fast_capacity, args.backend)
     params = {"tolerance": args.tolerance}
     if args.codec == "zfp":
         params["mode"] = "relative"
     encoder = CanopusEncoder(
         hierarchy, codec=args.codec, codec_params=params, chunks=args.chunks,
-        method=args.method, workers=args.workers,
+        method=args.method, workers=args.workers, placement=args.placement,
     )
     report, _ = encoder.encode(
         args.dataset, args.field, mesh, fields[args.field],
@@ -180,7 +206,7 @@ def _cmd_encode(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    hierarchy = _hierarchy(args.root)
+    hierarchy = _hierarchy(args.root, backend=args.backend)
     ds = BPDataset.open(args.dataset, hierarchy)
     rows = [
         {
@@ -206,7 +232,7 @@ def _cmd_info(args) -> int:
 def _cmd_fsck(args) -> int:
     from repro.io.fsck import check_dataset
 
-    hierarchy = _hierarchy(args.root)
+    hierarchy = _hierarchy(args.root, backend=args.backend)
     result = check_dataset(BPDataset.open(args.dataset, hierarchy))
     print(result.report())
     return 0 if result.healthy else 2
@@ -226,7 +252,7 @@ def _out_path(template: str, var: str, multi: bool) -> str:
 def _cmd_restore(args) -> int:
     from repro.core.decode_engine import DecodeEngine
 
-    hierarchy = _hierarchy(args.root)
+    hierarchy = _hierarchy(args.root, backend=args.backend)
     dataset = BPDataset.open(args.dataset, hierarchy)
     variables = [v for v in args.var.split(",") if v]
     io_before = hierarchy.clock.elapsed
@@ -257,7 +283,7 @@ def _cmd_restore(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.obs import trace_session
 
-    hierarchy = _hierarchy(args.root)
+    hierarchy = _hierarchy(args.root, backend=args.backend)
     with trace_session(
         hierarchy, chrome_path=args.out, jsonl_path=args.jsonl
     ) as tracer:

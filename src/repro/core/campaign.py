@@ -85,7 +85,10 @@ class CampaignWriter:
     entirely, and every ``write_step`` coarsens its field by replaying
     the recorded collapse sequence (bit-identical to re-running it).
     With ``workers > 1``, per-level delta computation and codec encodes
-    overlap on a thread pool.
+    overlap on a thread pool. ``placement="cost"`` defers product
+    placement to close time, where the cost-based
+    :class:`~repro.storage.placement.PlacementEngine` bins the whole
+    campaign at once instead of walking fastest-first per write.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class CampaignWriter:
         method: str = "serial",
         workers: int | None = None,
         use_plan_cache: bool = True,
+        placement: str = "walk",
     ) -> None:
         if method not in KERNELS:
             raise CanopusError(
@@ -143,7 +147,7 @@ class CampaignWriter:
         self.geometry_seconds = time.perf_counter() - t0
 
         # --- persist geometry once --------------------------------------
-        self._dataset = BPDataset.create(name, hierarchy)
+        self._dataset = BPDataset.create(name, hierarchy, placement=placement)
         self._dataset.catalog.attrs["campaign"] = {
             "var": var,
             "num_levels": scheme.num_levels,

@@ -133,6 +133,10 @@ class CanopusEncoder:
         ``codec_params["mode"] == "relative"``.
     transports:
         Optional per-tier transports (defaults to POSIX).
+    placement:
+        ``"walk"`` (paper §III-D fastest-first capacity walk, default)
+        or ``"cost"`` (close-time cost-based
+        :class:`~repro.storage.placement.PlacementEngine` plan).
     """
 
     def __init__(
@@ -149,6 +153,7 @@ class CanopusEncoder:
         total_error_budget: float | None = None,
         transports: dict[str, Transport] | None = None,
         use_plan_cache: bool = True,
+        placement: str = "walk",
     ) -> None:
         if chunks < 1:
             raise CanopusError("chunks must be >= 1")
@@ -172,6 +177,7 @@ class CanopusEncoder:
         self.total_error_budget = total_error_budget
         self.transports = transports
         self.use_plan_cache = use_plan_cache
+        self.placement = placement
         # Fail fast on bad codec configuration.
         get_codec(codec, **self.codec_params)
 
@@ -212,7 +218,8 @@ class CanopusEncoder:
         report.delta_seconds = result.delta_seconds
 
         ds = dataset or BPDataset.create(
-            dataset_name, self.hierarchy, self.transports
+            dataset_name, self.hierarchy, self.transports,
+            placement=self.placement,
         )
         plan = plan_placement(scheme, len(self.hierarchy))
         # A "relative" tolerance is resolved ONCE against the input

@@ -12,12 +12,12 @@ retrieval engine (:mod:`~repro.io.engine`) with its range cache
 configuration (:mod:`~repro.io.xmlconfig`).
 """
 
-from repro.io.bp import BPReader, BPWriter
+from repro.io.bp import BPReader, BPWriter, LazyBPReader
 from repro.io.cache import CacheEntry, RangeCache
 from repro.io.dataset import BPDataset
 from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.metadata import Catalog, VariableRecord
-from repro.io.fsck import CheckResult, check_dataset
+from repro.io.fsck import CheckResult, check_backends, check_dataset
 from repro.io.query import ChunkStats, QueryEngine, attach_stats
 from repro.io.transports import (
     AggregatingTransport,
@@ -36,12 +36,14 @@ __all__ = [
     "EngineStats",
     "BPReader",
     "BPWriter",
+    "LazyBPReader",
     "Catalog",
     "VariableRecord",
     "ChunkStats",
     "QueryEngine",
     "attach_stats",
     "CheckResult",
+    "check_backends",
     "check_dataset",
     "Transport",
     "PosixTransport",

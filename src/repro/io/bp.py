@@ -18,7 +18,7 @@ import struct
 
 from repro.errors import BPFormatError, VariableNotFoundError
 
-__all__ = ["BPWriter", "BPReader", "MAGIC"]
+__all__ = ["BPWriter", "BPReader", "LazyBPReader", "MAGIC"]
 
 MAGIC = b"RBP1"
 _TRAILER = struct.Struct("<Q4s")
@@ -73,6 +73,27 @@ class BPWriter:
         )
 
 
+def _parse_index(
+    size: int, trailer: bytes, footer_of: "callable"
+) -> dict[str, tuple[int, int]]:
+    """Shared footer/trailer parse for eager and lazy readers.
+
+    ``trailer`` is the file's final ``_TRAILER.size`` bytes;
+    ``footer_of(start, length)`` returns the footer JSON bytes.
+    """
+    footer_len, tail_magic = _TRAILER.unpack(trailer)
+    if tail_magic != MAGIC:
+        raise BPFormatError("not a BP subfile (bad trailer)")
+    footer_start = size - _TRAILER.size - footer_len
+    if footer_start < len(MAGIC):
+        raise BPFormatError("corrupt BP subfile (footer overlaps header)")
+    try:
+        index = json.loads(footer_of(footer_start, footer_len))
+    except json.JSONDecodeError as exc:
+        raise BPFormatError(f"corrupt BP footer: {exc}") from exc
+    return {k: tuple(v) for k, v in index.items()}
+
+
 class BPReader:
     """Parses a subfile produced by :class:`BPWriter`."""
 
@@ -80,18 +101,12 @@ class BPReader:
         data = bytes(data)
         if len(data) < len(MAGIC) + _TRAILER.size or data[:4] != MAGIC:
             raise BPFormatError("not a BP subfile (bad header)")
-        footer_len, tail_magic = _TRAILER.unpack_from(data, len(data) - _TRAILER.size)
-        if tail_magic != MAGIC:
-            raise BPFormatError("not a BP subfile (bad trailer)")
-        footer_start = len(data) - _TRAILER.size - footer_len
-        if footer_start < len(MAGIC):
-            raise BPFormatError("corrupt BP subfile (footer overlaps header)")
-        try:
-            index = json.loads(data[footer_start : footer_start + footer_len])
-        except json.JSONDecodeError as exc:
-            raise BPFormatError(f"corrupt BP footer: {exc}") from exc
         self._data = data
-        self._index = {k: tuple(v) for k, v in index.items()}
+        self._index = _parse_index(
+            len(data),
+            data[len(data) - _TRAILER.size:],
+            lambda start, length: data[start:start + length],
+        )
 
     def keys(self) -> list[str]:
         return sorted(self._index)
@@ -108,3 +123,50 @@ class BPReader:
     def read(self, key: str) -> bytes:
         offset, length = self.offset_of(key)
         return self._data[offset : offset + length]
+
+
+class LazyBPReader:
+    """Standalone ranged-read view of a subfile held by a backend.
+
+    Reconstructs the local index from three ranged reads (header,
+    trailer, footer) without ever materializing the whole subfile —
+    the self-describing-open path, now served through an
+    :class:`~repro.storage.backend.ObjectStore` handle so it works the
+    same over filesystem, in-memory, and sharded stores (where a single
+    logical range may span several chunks).
+    """
+
+    def __init__(self, backend, key: str) -> None:
+        self.backend = backend
+        self.key = key
+        size = backend.size(key)
+        if size < len(MAGIC) + _TRAILER.size:
+            raise BPFormatError("not a BP subfile (too short)")
+        if backend.get_range(key, 0, len(MAGIC)) != MAGIC:
+            raise BPFormatError("not a BP subfile (bad header)")
+        self._index = _parse_index(
+            size,
+            backend.get_range(key, size - _TRAILER.size, _TRAILER.size),
+            lambda start, length: backend.get_range(key, start, length),
+        )
+
+    @classmethod
+    def from_tier(cls, tier, subfile: str) -> "LazyBPReader":
+        """Open a tier-resident subfile via the tier's backend handle."""
+        return cls(tier.backend, subfile)
+
+    def keys(self) -> list[str]:
+        return sorted(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def offset_of(self, key: str) -> tuple[int, int]:
+        try:
+            return self._index[key]  # type: ignore[return-value]
+        except KeyError:
+            raise VariableNotFoundError(f"no block {key!r} in subfile") from None
+
+    def read(self, key: str) -> bytes:
+        offset, length = self.offset_of(key)
+        return self.backend.get_range(self.key, offset, length)

@@ -39,6 +39,12 @@ from repro.io.metadata import Catalog, VariableRecord
 from repro.io.transports import PosixTransport, Transport
 from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.placement import (
+    PlacementEngine,
+    PlacementPlan,
+    ProductSpec,
+    default_weight,
+)
 
 __all__ = ["BPDataset"]
 
@@ -61,12 +67,22 @@ class BPDataset:
         verify_checksums: bool = True,
         cache_bytes: int = 64 << 20,
         workers: int = 4,
+        placement: str = "walk",
     ) -> None:
         if mode not in ("w", "r"):
             raise BPFormatError(f"mode must be 'w' or 'r', not {mode!r}")
+        if placement not in ("walk", "cost"):
+            raise BPFormatError(
+                f"placement must be 'walk' or 'cost', not {placement!r}"
+            )
         self.name = name
         self.hierarchy = hierarchy
         self.mode = mode
+        self.placement = placement
+        #: Payloads awaiting close-time cost-based placement.
+        self._pending: list[tuple[VariableRecord, bytes, float]] = []
+        #: The last :class:`PlacementPlan` applied (cost mode only).
+        self.last_plan: PlacementPlan | None = None
         self.transports = transports or {
             t.name: PosixTransport(t) for t in hierarchy
         }
@@ -120,18 +136,48 @@ class BPDataset:
         codec: str = "",
         preferred_tier: int = 0,
         attrs: dict | None = None,
+        weight: float | None = None,
     ) -> VariableRecord:
-        """Buffer one variable payload for the preferred tier.
+        """Buffer one variable payload for placement.
 
-        The actual tier is chosen by walking down from
-        ``preferred_tier`` and skipping tiers whose *remaining* capacity
-        (free minus already-buffered bytes) cannot hold the payload —
-        the paper's bypass rule, applied against the post-flush state.
+        With the default ``walk`` policy the tier is chosen immediately
+        by walking down from ``preferred_tier`` and skipping tiers whose
+        *remaining* capacity (free minus already-buffered bytes) cannot
+        hold the payload — the paper's bypass rule, applied against the
+        post-flush state. With the ``cost`` policy the payload is held
+        back and the whole batch is placed at :meth:`close` by the
+        cost-based :class:`~repro.storage.placement.PlacementEngine`;
+        ``weight`` (expected relative read frequency) feeds its cost
+        model, defaulting to the kind/level heuristic of
+        :func:`~repro.storage.placement.default_weight`.
         """
         if self.mode != "w":
             raise BPFormatError("dataset is open read-only")
         if self._closed:
             raise BPFormatError("dataset already closed")
+        if self.placement == "cost":
+            record = VariableRecord(
+                key=key,
+                tier="",
+                subfile="",
+                offset=0,
+                length=len(payload),
+                codec=codec,
+                kind=kind,
+                level=level,
+                count=count,
+                checksum=zlib.crc32(payload) & 0xFFFFFFFF,
+                attrs=attrs or {},
+            )
+            self.catalog.add(record)
+            self._pending.append(
+                (
+                    record,
+                    bytes(payload),
+                    default_weight(kind, level) if weight is None else weight,
+                )
+            )
+            return record
         tracer = trace.get_tracer()
         if tracer is None:
             tier = self._choose_tier(len(payload), preferred_tier)
@@ -177,12 +223,45 @@ class BPDataset:
             f"no tier at index >= {preferred_index} can hold {nbytes} bytes"
         )
 
+    def _apply_cost_placement(self) -> None:
+        """Bin pending payloads into subfiles per the cost-based plan.
+
+        Runs once, at close, when every buffered product and its read
+        weight are known — a global decision the per-write walk cannot
+        make. Record tier/subfile/offset fields are patched in place
+        (``VariableRecord`` is mutable by design), so records handed out
+        by :meth:`write` stay authoritative.
+        """
+        if not self._pending:
+            return
+        engine = PlacementEngine(self.hierarchy)
+        products = [
+            ProductSpec(rec.key, len(payload), weight)
+            for rec, payload, weight in self._pending
+        ]
+        capacities = {
+            t.name: max(0, t.free_bytes - _FOOTER_SLACK)
+            for t in self.hierarchy.tiers
+        }
+        plan = engine.plan(products, capacities=capacities)
+        self.last_plan = plan
+        for rec, payload, _ in self._pending:
+            tier = plan.tier_of(rec.key)
+            writer = self._writers.setdefault(tier, BPWriter())
+            offset, length = writer.add(rec.key, payload)
+            rec.tier = tier
+            rec.subfile = self._subfile(tier)
+            rec.offset = offset
+            rec.length = length
+        self._pending.clear()
+
     def close(self) -> None:
         """Flush all subfiles through their transports + write the catalog."""
         self.engine.close()
         if self.mode != "w" or self._closed:
             self._closed = True
             return
+        self._apply_cost_placement()
         with trace.span(
             "dataset.flush", "io", {"dataset": self.name}
         ):

@@ -194,6 +194,33 @@ class RetrievalEngine:
             raise StorageError(f"subfile {rec.subfile!r} not found on any tier")
         return current.name
 
+    def _peek_resilient(
+        self, tier_name: str, subfile: str, offset: int, length: int
+    ) -> tuple[bytes, str]:
+        """Uncharged range read that survives concurrent re-placement.
+
+        A migration executing between locate and fetch deletes the
+        source copy after the destination copy is fully registered, so
+        on a miss we re-locate once and retry against the subfile's new
+        tier — restores stay bit-identical while the placement policy
+        moves data underneath them.
+        """
+        try:
+            return (
+                self.transports[tier_name].peek_range(subfile, offset, length),
+                tier_name,
+            )
+        except StorageError:
+            current = self.hierarchy.locate(subfile)
+            if current is None or current.name == tier_name:
+                raise
+            return (
+                self.transports[current.name].peek_range(
+                    subfile, offset, length
+                ),
+                current.name,
+            )
+
     @staticmethod
     def _key(rec: VariableRecord) -> tuple[str, int, int]:
         return (rec.subfile, rec.offset, rec.length)
@@ -240,11 +267,10 @@ class RetrievalEngine:
                 self.stats.incr("prefetch_useful")
             self.stats.record_hit(entry.tier, rec.length)
             return entry.data
-        tier_name = self._locate(rec)
-        tier = self.hierarchy.tier(tier_name)
-        data = self.transports[tier_name].peek_range(
-            rec.subfile, rec.offset, rec.length
+        data, tier_name = self._peek_resilient(
+            self._locate(rec), rec.subfile, rec.offset, rec.length
         )
+        tier = self.hierarchy.tier(tier_name)
         tier.clock.charge(
             tier_name, "read", rec.length,
             tier.device.read_seconds(rec.length), rec.key,
@@ -327,8 +353,11 @@ class RetrievalEngine:
     def _fetch_span_inner(
         self, span: _Span, *, verify: bool, prefetched: bool
     ) -> dict[tuple[str, int, int], bytes]:
-        blob = self.transports[span.tier].peek_range(
-            span.subfile, span.offset, span.length
+        # Cache entries keep the planned tier label even if the retry
+        # served the bytes from elsewhere; the charge was already issued
+        # against the planned tier at batch time.
+        blob, _ = self._peek_resilient(
+            span.tier, span.subfile, span.offset, span.length
         )
         out: dict[tuple[str, int, int], bytes] = {}
         try:

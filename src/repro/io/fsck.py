@@ -11,6 +11,14 @@ The checker walks the catalog and verifies, per record:
 * recorded value statistics (if any) match the decoded payload within
   the codec's error bound.
 
+Below the catalog, the checker also audits each tier's *backend
+inventory*: every object-store backend self-verifies
+(:meth:`~repro.storage.backend.ObjectStore.verify` — for a
+:class:`~repro.storage.backend.ShardedBackend` that means missing
+chunks, orphaned chunks, and a CRC pass over reassembled chunk
+boundaries), and each dataset subfile's footer index is re-parsed
+through ranged backend reads.
+
 Checks are read-only and per-product, so a partially corrupted dataset
 yields a precise damage report instead of a failed restore.
 """
@@ -24,10 +32,11 @@ import numpy as np
 from repro.compress import decode_auto
 from repro.core.mapping import LevelMapping
 from repro.errors import ReproError
+from repro.io.bp import LazyBPReader
 from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
 
-__all__ = ["CheckResult", "check_dataset"]
+__all__ = ["CheckResult", "check_backends", "check_dataset"]
 
 
 @dataclass
@@ -38,10 +47,12 @@ class CheckResult:
     checked: int = 0
     ok: int = 0
     problems: list[tuple[str, str]] = field(default_factory=list)
+    #: Tier-level backend inventory findings, as ``(tier, problem)``.
+    backend_problems: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def healthy(self) -> bool:
-        return not self.problems
+        return not self.problems and not self.backend_problems
 
     def report(self) -> str:
         lines = [
@@ -49,6 +60,8 @@ class CheckResult:
         ]
         for key, problem in self.problems:
             lines.append(f"  BAD {key}: {problem}")
+        for tier, problem in self.backend_problems:
+            lines.append(f"  BAD backend[{tier}]: {problem}")
         return "\n".join(lines)
 
 
@@ -88,8 +101,37 @@ def _check_payload(rec, blob: bytes) -> str | None:
     return None
 
 
+def check_backends(dataset: BPDataset, result: CheckResult) -> None:
+    """Audit each tier's backend inventory for the dataset's objects.
+
+    Appends ``(tier, problem)`` entries to ``result.backend_problems``:
+    backend self-verification findings (sharded chunk inventory + CRC
+    across chunk boundaries) scoped to the dataset's objects, plus a
+    footer re-parse of each subfile through ranged backend reads.
+    """
+    prefix = dataset.name + "."
+    for tier in dataset.hierarchy.tiers:
+        for problem in tier.backend.verify():
+            # Backend verify covers the whole store; report only findings
+            # about this dataset's objects (other datasets share tiers).
+            if problem.startswith(prefix):
+                result.backend_problems.append((tier.name, problem))
+        for relpath in tier.list_files():
+            if not (
+                relpath.startswith(prefix) and relpath.endswith(".bp")
+            ):
+                continue
+            try:
+                reader = LazyBPReader.from_tier(tier, relpath)
+                reader.keys()
+            except ReproError as exc:
+                result.backend_problems.append(
+                    (tier.name, f"{relpath}: footer unreadable ({exc})")
+                )
+
+
 def check_dataset(dataset: BPDataset) -> CheckResult:
-    """Verify every product of an open dataset."""
+    """Verify every product of an open dataset, then audit backends."""
     result = CheckResult(dataset=dataset.name)
     for key in dataset.keys():
         rec = dataset.inq(key)
@@ -124,4 +166,5 @@ def check_dataset(dataset: BPDataset) -> CheckResult:
             result.problems.append((key, problem))
         else:
             result.ok += 1
+    check_backends(dataset, result)
     return result

@@ -32,17 +32,36 @@ __all__ = [
     "make_transport",
 ]
 
+# Defaults for the interconnect cost model; per-transport values are
+# configurable via constructor kwargs and the XML config.
 _NETWORK_BANDWIDTH = 5 * (1 << 30)  # bytes/s, Gemini/Aries-class per process
 _NETWORK_LATENCY = 2e-6
 
 
 class Transport(ABC):
-    """Write/read strategy bound to one storage tier."""
+    """Write/read strategy bound to one storage tier.
+
+    ``network_bandwidth`` (bytes/s) and ``network_latency`` (seconds)
+    parameterize the interconnect hop used by the aggregating and
+    staging methods; the defaults model a Gemini/Aries-class link.
+    """
 
     method = ""
 
-    def __init__(self, tier: StorageTier):
+    def __init__(
+        self,
+        tier: StorageTier,
+        *,
+        network_bandwidth: float = _NETWORK_BANDWIDTH,
+        network_latency: float = _NETWORK_LATENCY,
+    ):
+        if network_bandwidth <= 0:
+            raise TransportError("network_bandwidth must be positive")
+        if network_latency < 0:
+            raise TransportError("network_latency must be >= 0")
         self.tier = tier
+        self.network_bandwidth = network_bandwidth
+        self.network_latency = network_latency
 
     @abstractmethod
     def write(self, relpath: str, data: bytes, label: str = "") -> None:
@@ -90,8 +109,14 @@ class AggregatingTransport(Transport):
 
     method = "MPI_AGGREGATE"
 
-    def __init__(self, tier: StorageTier, writers: int = 1, aggregators: int = 1):
-        super().__init__(tier)
+    def __init__(
+        self,
+        tier: StorageTier,
+        writers: int = 1,
+        aggregators: int = 1,
+        **net_params,
+    ):
+        super().__init__(tier, **net_params)
         if writers < 1 or aggregators < 1:
             raise TransportError("writers and aggregators must be >= 1")
         if aggregators > writers:
@@ -101,7 +126,9 @@ class AggregatingTransport(Transport):
 
     def write(self, relpath: str, data: bytes, label: str = "") -> None:
         # Stage 1: gather from writers to aggregators over the network.
-        gather_seconds = _NETWORK_LATENCY + len(data) / _NETWORK_BANDWIDTH
+        gather_seconds = (
+            self.network_latency + len(data) / self.network_bandwidth
+        )
         self.tier.clock.charge(
             self.tier.name, "write", 0, gather_seconds, label or "aggregate-gather"
         )
@@ -122,12 +149,12 @@ class StagingTransport(Transport):
 
     method = "STAGING"
 
-    def __init__(self, tier: StorageTier):
-        super().__init__(tier)
+    def __init__(self, tier: StorageTier, **net_params):
+        super().__init__(tier, **net_params)
         self._pending: dict[str, tuple[bytes, str]] = {}
 
     def write(self, relpath: str, data: bytes, label: str = "") -> None:
-        seconds = _NETWORK_LATENCY + len(data) / _NETWORK_BANDWIDTH
+        seconds = self.network_latency + len(data) / self.network_bandwidth
         self.tier.clock.charge(
             "staging", "write", len(data), seconds, label or "stage"
         )
@@ -159,12 +186,17 @@ class StagingTransport(Transport):
 
 
 def make_transport(method: str, tier: StorageTier, **params) -> Transport:
-    """Factory used by the XML configuration layer."""
+    """Factory used by the XML configuration layer.
+
+    ``network_bandwidth`` / ``network_latency`` kwargs reach every
+    method; remaining params are method-specific (e.g. ``writers`` /
+    ``aggregators`` for MPI_AGGREGATE).
+    """
     method = method.upper()
     if method == "POSIX":
-        return PosixTransport(tier)
+        return PosixTransport(tier, **params)
     if method == "MPI_AGGREGATE":
         return AggregatingTransport(tier, **params)
     if method == "STAGING":
-        return StagingTransport(tier)
+        return StagingTransport(tier, **params)
     raise TransportError(f"unknown transport method {method!r}")

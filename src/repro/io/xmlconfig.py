@@ -7,14 +7,25 @@ This module parses an equivalent document into a ready-to-use storage
 hierarchy, per-tier transports, and Canopus pipeline parameters::
 
     <canopus-config>
-      <storage root="/tmp/run">
-        <tier name="tmpfs"  device="dram_tmpfs" capacity="64MiB"/>
-        <tier name="lustre" device="lustre"     capacity="10GiB"/>
+      <storage root="/tmp/run" backend="filesystem">
+        <tier name="tmpfs"  device="dram_tmpfs" capacity="64MiB"
+              backend="memory"/>
+        <tier name="lustre" device="lustre"     capacity="10GiB"
+              backend="sharded" shards="8" chunk="256KiB"/>
       </storage>
       <transport tier="tmpfs"  method="POSIX"/>
-      <transport tier="lustre" method="MPI_AGGREGATE" writers="128" aggregators="4"/>
+      <transport tier="lustre" method="MPI_AGGREGATE" writers="128"
+                 aggregators="4" network_bandwidth="5GiB"
+                 network_latency="2e-6"/>
+      <placement policy="cost"/>
       <canopus levels="3" codec="zfp" tolerance="1e-4" decimation="2"/>
     </canopus-config>
+
+Each tier's bytes live in a pluggable object-store backend
+(``filesystem`` default, ``memory``, or ``sharded``; set a store-wide
+default on ``<storage backend=...>`` and override per ``<tier>``).
+``<placement policy="cost"/>`` switches datasets from the fastest-first
+capacity walk to the cost-based placement engine.
 """
 
 from __future__ import annotations
@@ -24,8 +35,9 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.io.transports import Transport, make_transport
+from repro.storage.backend import make_backend
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.simclock import SimClock
 from repro.storage.tier import StorageTier
@@ -60,6 +72,7 @@ class CanopusConfig:
     codec: str = "zfp"
     tolerance: float = 1e-6
     decimation: float = 2.0
+    placement: str = "walk"
     extra: dict = field(default_factory=dict)
 
     def transport_for(self, tier_name: str) -> Transport:
@@ -93,6 +106,10 @@ def parse_config(
     storage_root = Path(storage_el.get("root", "."))
     clock = clock if clock is not None else SimClock()
 
+    default_backend = storage_el.get("backend", "filesystem")
+    default_shards = int(storage_el.get("shards", "4"))
+    default_chunk = parse_size(storage_el.get("chunk", "256KiB"))
+
     tiers: list[StorageTier] = []
     for tier_el in storage_el.findall("tier"):
         name = tier_el.get("name")
@@ -100,9 +117,20 @@ def parse_config(
         capacity = tier_el.get("capacity")
         if not (name and device and capacity):
             raise ConfigError("<tier> needs name, device, and capacity")
+        backend_kind = tier_el.get("backend", default_backend)
+        try:
+            backend = make_backend(
+                backend_kind,
+                storage_root / name,
+                shards=int(tier_el.get("shards", default_shards)),
+                chunk_size=parse_size(tier_el.get("chunk", default_chunk)),
+            )
+        except ReproError as exc:
+            raise ConfigError(f"tier {name!r}: {exc}") from exc
         tiers.append(
             StorageTier(
-                name, device, parse_size(capacity), storage_root / name, clock
+                name, device, parse_size(capacity), storage_root / name,
+                clock, backend=backend,
             )
         )
     if not tiers:
@@ -115,11 +143,18 @@ def parse_config(
         method = tr_el.get("method", "POSIX")
         if tier_name is None:
             raise ConfigError("<transport> needs a tier attribute")
-        params = {
-            k: int(v)
-            for k, v in tr_el.attrib.items()
-            if k not in ("tier", "method")
-        }
+        params = {}
+        for k, v in tr_el.attrib.items():
+            if k in ("tier", "method"):
+                continue
+            # Network parameters take size strings / floats; everything
+            # else (writers, aggregators, ...) is an integer count.
+            if k == "network_bandwidth":
+                params[k] = parse_size(v)
+            elif k == "network_latency":
+                params[k] = float(v)
+            else:
+                params[k] = int(v)
         transports[tier_name] = make_transport(
             method, hierarchy.tier(tier_name), **params
         )
@@ -128,6 +163,14 @@ def parse_config(
         transports.setdefault(tier.name, make_transport("POSIX", tier))
 
     cfg = CanopusConfig(hierarchy=hierarchy, transports=transports)
+    placement_el = root.find("placement")
+    if placement_el is not None:
+        policy = placement_el.get("policy", "walk")
+        if policy not in ("walk", "cost"):
+            raise ConfigError(
+                f"<placement> policy must be 'walk' or 'cost', not {policy!r}"
+            )
+        cfg.placement = policy
     can_el = root.find("canopus")
     if can_el is not None:
         attrs = dict(can_el.attrib)

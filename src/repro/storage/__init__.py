@@ -1,13 +1,30 @@
 """Simulated tiered storage substrate (see DESIGN.md substitutions).
 
-Real bytes are stored in real files under per-tier directories; transfer
-times are modeled from per-device latency/bandwidth so the multi-tier
-behaviour the paper measured on Titan (tmpfs + Lustre) can be reproduced
-on a laptop.
+Real bytes are stored in pluggable object-store backends (filesystem,
+in-memory, sharded); transfer times are modeled from per-device
+latency/bandwidth so the multi-tier behaviour the paper measured on
+Titan (tmpfs + Lustre) can be reproduced on a laptop. Placement is
+cost-based (:mod:`repro.storage.placement`) with watermark-driven and
+elastic re-placement policies in :mod:`repro.storage.policy`.
 """
 
+from repro.storage.backend import (
+    BACKEND_KINDS,
+    FilesystemBackend,
+    MemoryBackend,
+    ObjectStore,
+    ShardedBackend,
+    make_backend,
+)
 from repro.storage.device import DEVICE_PRESETS, DeviceModel, device_preset
 from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
+from repro.storage.placement import (
+    PlacementDecision,
+    PlacementEngine,
+    PlacementPlan,
+    ProductSpec,
+    default_weight,
+)
 from repro.storage.policy import AccessTracker, TierManager
 from repro.storage.simclock import IOEvent, SimClock
 from repro.storage.tier import StorageTier
@@ -16,9 +33,20 @@ __all__ = [
     "DeviceModel",
     "DEVICE_PRESETS",
     "device_preset",
+    "ObjectStore",
+    "FilesystemBackend",
+    "MemoryBackend",
+    "ShardedBackend",
+    "make_backend",
+    "BACKEND_KINDS",
     "StorageTier",
     "StorageHierarchy",
     "two_tier_titan",
+    "PlacementEngine",
+    "PlacementPlan",
+    "PlacementDecision",
+    "ProductSpec",
+    "default_weight",
     "TierManager",
     "AccessTracker",
     "SimClock",

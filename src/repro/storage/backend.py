@@ -1,0 +1,514 @@
+"""Pluggable object-store backends for storage tiers.
+
+A :class:`StorageTier` used to be welded to a local directory; the tier
+now delegates every byte movement to an :class:`ObjectStore` backend and
+keeps only the device cost model and capacity accounting for itself.
+Three backends ship here:
+
+* :class:`FilesystemBackend` — one file per object under a root
+  directory (the seed behaviour; a tier directory persists across
+  handles like a real mount);
+* :class:`MemoryBackend` — tmpfs-class in-process store (bytes held in
+  a dict), for DRAM-like tiers and fast tests;
+* :class:`ShardedBackend` — stripes each object into fixed-size chunks
+  across a ring of sub-stores with batched multi-chunk get/put, the
+  shape of an object store (OASIS-style) or a striped PFS.
+
+Backends move *real* bytes — the end-to-end pipeline stays honest — and
+never touch the simulated clock; transfer-time charging stays with the
+tier that owns the device model.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import zlib
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.errors import StorageError
+
+__all__ = [
+    "ObjectStore",
+    "FilesystemBackend",
+    "MemoryBackend",
+    "ShardedBackend",
+    "make_backend",
+    "BACKEND_KINDS",
+]
+
+#: Range-read request: ``(key, offset, length)``.
+RangeRequest = tuple[str, int, int]
+
+
+class ObjectStore(ABC):
+    """Keyed byte-object storage with ranged and batched reads.
+
+    Keys are tier-relative object names (``"run.tmpfs.bp"``); values are
+    opaque byte strings. Implementations must be thread-safe for
+    concurrent reads (the retrieval engine's worker threads call
+    :meth:`get_range` in parallel) and must raise
+    :class:`~repro.errors.StorageError` for missing keys and
+    out-of-bounds ranges — never backend-native errors.
+    """
+
+    #: Short backend identifier used in metrics labels and configs.
+    kind = ""
+
+    # -- single-object ops ----------------------------------------------
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> int:
+        """Store ``data`` under ``key`` (overwrite allowed); returns size."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Fetch the complete object."""
+
+    @abstractmethod
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        """Fetch ``length`` bytes at ``offset`` (bounds-checked)."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove an object (missing key is an error)."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool: ...
+
+    @abstractmethod
+    def size(self, key: str) -> int: ...
+
+    @abstractmethod
+    def list_objects(self) -> list[tuple[str, int]]:
+        """All ``(key, size)`` pairs, sorted by key (inventory scan)."""
+
+    # -- batched ops -----------------------------------------------------
+    def put_many(self, items: dict[str, bytes]) -> int:
+        """Store several objects; returns total bytes stored."""
+        return sum(self.put(key, data) for key, data in sorted(items.items()))
+
+    def get_many(self, requests: list[RangeRequest]) -> list[bytes]:
+        """Fetch several ranges; result order matches ``requests``."""
+        return [self.get_range(k, off, length) for k, off, length in requests]
+
+    # -- integrity -------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Structural self-check; returns human-readable problem strings.
+
+        The base implementation re-reads every listed object and checks
+        the stored size; sharded stores additionally check chunk
+        inventory and cross-chunk checksums.
+        """
+        problems: list[str] = []
+        for key, size in self.list_objects():
+            try:
+                actual = len(self.get(key))
+            except StorageError as exc:
+                problems.append(f"{key}: unreadable ({exc})")
+                continue
+            if actual != size:
+                problems.append(
+                    f"{key}: stored {actual} bytes, inventory says {size}"
+                )
+        return problems
+
+    def _check_range(self, key: str, offset: int, length: int, size: int) -> None:
+        if offset < 0 or length < 0 or offset + length > size:
+            raise StorageError(
+                f"{self.kind} backend: range [{offset}, {offset + length}) "
+                f"outside object {key!r} of {size} bytes"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FilesystemBackend(ObjectStore):
+    """One file per object under a root directory (created if missing).
+
+    Stateless over the directory: a second handle on the same root sees
+    whatever is already stored there, like a real mount.
+    """
+
+    kind = "filesystem"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        p = (self.root / key).resolve()
+        root = self.root.resolve()
+        if root not in p.parents and p != root:
+            raise StorageError(f"object key {key!r} escapes backend root")
+        return p
+
+    def put(self, key: str, data: bytes) -> int:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+        return len(data)
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._path(key).read_bytes()
+        except OSError as exc:
+            raise StorageError(f"no object {key!r}: {exc}") from exc
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        path = self._path(key)
+        try:
+            size = path.stat().st_size
+        except OSError as exc:
+            raise StorageError(f"no object {key!r}: {exc}") from exc
+        self._check_range(key, offset, length, size)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                return fh.read(length)
+        except OSError as exc:
+            raise StorageError(f"cannot read {key!r}: {exc}") from exc
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if not path.is_file():
+            raise StorageError(f"no object {key!r}")
+        path.unlink()
+
+    def exists(self, key: str) -> bool:
+        try:
+            return self._path(key).is_file()
+        except StorageError:
+            return False
+
+    def size(self, key: str) -> int:
+        path = self._path(key)
+        if not path.is_file():
+            raise StorageError(f"no object {key!r}")
+        return path.stat().st_size
+
+    def list_objects(self) -> list[tuple[str, int]]:
+        return sorted(
+            (str(p.relative_to(self.root)), p.stat().st_size)
+            for p in self.root.rglob("*")
+            if p.is_file()
+        )
+
+    def __repr__(self) -> str:
+        return f"FilesystemBackend(root={str(self.root)!r})"
+
+
+class MemoryBackend(ObjectStore):
+    """tmpfs-class in-process store; objects live in a dict.
+
+    Contents die with the backend object (like tmpfs dies with the
+    node), which is exactly the semantics a DRAM-tier model wants.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, data: bytes) -> int:
+        data = bytes(data)
+        with self._lock:
+            self._objects[key] = data
+        return len(data)
+
+    def _get(self, key: str) -> bytes:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageError(f"no object {key!r}") from None
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            return self._get(key)
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        with self._lock:
+            data = self._get(key)
+        self._check_range(key, offset, length, len(data))
+        return data[offset:offset + length]
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            if key not in self._objects:
+                raise StorageError(f"no object {key!r}")
+            del self._objects[key]
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def size(self, key: str) -> int:
+        with self._lock:
+            return len(self._get(key))
+
+    def list_objects(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return sorted((k, len(v)) for k, v in self._objects.items())
+
+
+#: Chunk-name suffixes: ``<key>#meta`` and ``<key>#<index:06d>``.
+_CHUNK_RE = re.compile(r"^(?P<key>.+)#(?P<idx>\d{6})$")
+_META_SUFFIX = "#meta"
+
+
+class ShardedBackend(ObjectStore):
+    """Stripes objects into fixed-size chunks across sub-stores.
+
+    Chunk ``i`` of an object lands on sub-store ``i % len(substores)``
+    under the key ``"<key>#<i:06d>"``; a small JSON manifest
+    (``"<key>#meta"`` on sub-store 0) records the object size, chunk
+    size, chunk count, and a CRC-32 over the whole object so
+    :meth:`verify` can detect missing chunks, orphaned chunks, and
+    corruption across chunk boundaries. Ranged reads touch only the
+    chunks overlapping the range and are issued as one batched
+    multi-chunk get per sub-store.
+    """
+
+    kind = "sharded"
+
+    def __init__(
+        self, substores: list[ObjectStore], *, chunk_size: int = 256 * 1024
+    ) -> None:
+        if not substores:
+            raise StorageError("sharded backend needs at least one sub-store")
+        if chunk_size <= 0:
+            raise StorageError("chunk_size must be positive")
+        self.substores = list(substores)
+        self.chunk_size = int(chunk_size)
+
+    # -- layout helpers --------------------------------------------------
+    def _store_for(self, index: int) -> ObjectStore:
+        return self.substores[index % len(self.substores)]
+
+    @staticmethod
+    def _chunk_key(key: str, index: int) -> str:
+        return f"{key}#{index:06d}"
+
+    def _manifest(self, key: str) -> dict:
+        try:
+            blob = self.substores[0].get(key + _META_SUFFIX)
+        except StorageError:
+            raise StorageError(f"no object {key!r}") from None
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise StorageError(f"corrupt manifest for {key!r}: {exc}") from exc
+
+    # -- single-object ops ----------------------------------------------
+    def put(self, key: str, data: bytes) -> int:
+        data = bytes(data)
+        cs = self.chunk_size
+        nchunks = max(1, -(-len(data) // cs))
+        old_chunks = 0
+        if self.substores[0].exists(key + _META_SUFFIX):
+            old_chunks = int(self._manifest(key).get("chunks", 0))
+        per_store: dict[int, dict[str, bytes]] = {}
+        for i in range(nchunks):
+            per_store.setdefault(i % len(self.substores), {})[
+                self._chunk_key(key, i)
+            ] = data[i * cs:(i + 1) * cs]
+        for store_idx, items in sorted(per_store.items()):
+            self.substores[store_idx].put_many(items)
+        manifest = {
+            "size": len(data),
+            "chunk_size": cs,
+            "chunks": nchunks,
+            "crc32": zlib.crc32(data) & 0xFFFFFFFF,
+        }
+        self.substores[0].put(
+            key + _META_SUFFIX, json.dumps(manifest, sort_keys=True).encode()
+        )
+        # Shrinking overwrite: drop chunks beyond the new count so the
+        # inventory never reports stale orphans.
+        for i in range(nchunks, old_chunks):
+            store = self._store_for(i)
+            if store.exists(self._chunk_key(key, i)):
+                store.delete(self._chunk_key(key, i))
+        return len(data)
+
+    def get(self, key: str) -> bytes:
+        manifest = self._manifest(key)
+        return self.get_range(key, 0, int(manifest["size"]))
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        manifest = self._manifest(key)
+        size = int(manifest["size"])
+        cs = int(manifest["chunk_size"])
+        self._check_range(key, offset, length, size)
+        if length == 0:
+            return b""
+        first = offset // cs
+        last = (offset + length - 1) // cs
+        # One batched multi-chunk get per sub-store, results re-ordered.
+        per_store: dict[int, list[tuple[int, str]]] = {}
+        for i in range(first, last + 1):
+            per_store.setdefault(i % len(self.substores), []).append(
+                (i, self._chunk_key(key, i))
+            )
+        chunks: dict[int, bytes] = {}
+        for store_idx, wanted in sorted(per_store.items()):
+            store = self.substores[store_idx]
+            try:
+                blobs = store.get_many(
+                    [(ck, 0, store.size(ck)) for _, ck in wanted]
+                )
+            except StorageError as exc:
+                raise StorageError(
+                    f"{key!r}: missing chunk on sub-store {store_idx} ({exc})"
+                ) from exc
+            for (i, _), blob in zip(wanted, blobs):
+                chunks[i] = blob
+        blob = b"".join(chunks[i] for i in range(first, last + 1))
+        lo = offset - first * cs
+        return blob[lo:lo + length]
+
+    def delete(self, key: str) -> None:
+        manifest = self._manifest(key)
+        for i in range(int(manifest["chunks"])):
+            store = self._store_for(i)
+            if store.exists(self._chunk_key(key, i)):
+                store.delete(self._chunk_key(key, i))
+        self.substores[0].delete(key + _META_SUFFIX)
+
+    def exists(self, key: str) -> bool:
+        return self.substores[0].exists(key + _META_SUFFIX)
+
+    def size(self, key: str) -> int:
+        return int(self._manifest(key)["size"])
+
+    def list_objects(self) -> list[tuple[str, int]]:
+        out = []
+        for name, _ in self.substores[0].list_objects():
+            if name.endswith(_META_SUFFIX):
+                key = name[: -len(_META_SUFFIX)]
+                out.append((key, self.size(key)))
+        return sorted(out)
+
+    def get_many(self, requests: list[RangeRequest]) -> list[bytes]:
+        # Manifests are read once per distinct key; chunk fetches then go
+        # through the per-request batched path.
+        return [self.get_range(k, off, length) for k, off, length in requests]
+
+    # -- integrity -------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Chunk-inventory + cross-chunk CRC check.
+
+        Reports, per object: missing chunks (manifest says N, chunk i is
+        gone), size drift, and CRC-32 mismatches over the reassembled
+        byte stream (detects corruption *across* chunk boundaries that a
+        per-chunk check would miss). Chunks with no manifest — or with
+        an index beyond the manifest's count — are reported as orphans.
+        """
+        problems: list[str] = []
+        manifests: dict[str, dict] = {}
+        for name, _ in self.substores[0].list_objects():
+            if name.endswith(_META_SUFFIX):
+                key = name[: -len(_META_SUFFIX)]
+                try:
+                    manifests[key] = self._manifest(key)
+                except StorageError as exc:
+                    problems.append(str(exc))
+        for key, manifest in sorted(manifests.items()):
+            nchunks = int(manifest["chunks"])
+            missing = [
+                i
+                for i in range(nchunks)
+                if not self._store_for(i).exists(self._chunk_key(key, i))
+            ]
+            if missing:
+                problems.append(
+                    f"{key}: missing chunk(s) {missing} of {nchunks}"
+                )
+                continue
+            data = b"".join(
+                self._store_for(i).get(self._chunk_key(key, i))
+                for i in range(nchunks)
+            )
+            if len(data) != int(manifest["size"]):
+                problems.append(
+                    f"{key}: reassembled {len(data)} bytes, manifest says "
+                    f"{manifest['size']}"
+                )
+                continue
+            crc = zlib.crc32(data) & 0xFFFFFFFF
+            if crc != int(manifest["crc32"]):
+                problems.append(
+                    f"{key}: crc mismatch over chunk boundaries "
+                    f"({crc:08x} != {int(manifest['crc32']):08x})"
+                )
+        for store_idx, store in enumerate(self.substores):
+            for name, _ in store.list_objects():
+                m = _CHUNK_RE.match(name)
+                if m is None:
+                    continue
+                key, idx = m.group("key"), int(m.group("idx"))
+                manifest = manifests.get(key)
+                if manifest is None:
+                    problems.append(
+                        f"{name}: orphaned chunk (no manifest for {key!r}) "
+                        f"on sub-store {store_idx}"
+                    )
+                elif idx >= int(manifest["chunks"]):
+                    problems.append(
+                        f"{name}: orphaned chunk (manifest records only "
+                        f"{manifest['chunks']} chunks)"
+                    )
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBackend(substores={len(self.substores)}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
+
+#: Backend kinds accepted by :func:`make_backend` (and the XML config /
+#: CLI ``--backend`` option / ``REPRO_BACKEND`` test matrix).
+BACKEND_KINDS = ("filesystem", "memory", "sharded")
+
+
+def make_backend(
+    kind: str,
+    root: str | Path | None = None,
+    *,
+    shards: int = 4,
+    chunk_size: int = 256 * 1024,
+    in_memory_shards: bool = False,
+) -> ObjectStore:
+    """Factory used by the XML configuration layer, CLI, and tests.
+
+    ``filesystem`` and ``sharded`` need a ``root`` directory (sharded
+    sub-stores live under ``root/shard<i>`` unless ``in_memory_shards``);
+    ``memory`` ignores it.
+    """
+    kind = kind.lower()
+    if kind == "filesystem":
+        if root is None:
+            raise StorageError("filesystem backend needs a root directory")
+        return FilesystemBackend(root)
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sharded":
+        if shards < 1:
+            raise StorageError("sharded backend needs shards >= 1")
+        if in_memory_shards:
+            subs: list[ObjectStore] = [MemoryBackend() for _ in range(shards)]
+        else:
+            if root is None:
+                raise StorageError("sharded backend needs a root directory")
+            subs = [
+                FilesystemBackend(Path(root) / f"shard{i}")
+                for i in range(shards)
+            ]
+        return ShardedBackend(subs, chunk_size=chunk_size)
+    raise StorageError(
+        f"unknown backend {kind!r}; expected one of {BACKEND_KINDS}"
+    )

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.errors import CapacityError, StorageError
+from repro.storage.backend import make_backend
 from repro.storage.device import device_preset
 from repro.storage.simclock import SimClock
 from repro.storage.tier import StorageTier
@@ -158,19 +159,35 @@ def two_tier_titan(
     fast_capacity: int = 1 << 30,
     slow_capacity: int = 1 << 40,
     clock: SimClock | None = None,
+    backend: str = "filesystem",
+    shards: int = 4,
+    chunk_size: int = 256 * 1024,
 ) -> StorageHierarchy:
-    """The paper's testbed: DRAM tmpfs over Lustre (Titan, §IV-B)."""
+    """The paper's testbed: DRAM tmpfs over Lustre (Titan, §IV-B).
+
+    ``backend`` selects the object store holding each tier's bytes —
+    ``"filesystem"`` (default, one file per object under
+    ``root/<tier>``), ``"memory"`` (tmpfs-class, contents die with the
+    hierarchy), or ``"sharded"`` (chunks striped over ``shards``
+    sub-stores under ``root/<tier>/shard<i>``).
+    """
     root = Path(root)
     clock = clock if clock is not None else SimClock()
+
+    def _backend(tier_name: str):
+        return make_backend(
+            backend, root / tier_name, shards=shards, chunk_size=chunk_size
+        )
+
     return StorageHierarchy(
         [
             StorageTier(
                 "tmpfs", device_preset("dram_tmpfs"), fast_capacity,
-                root / "tmpfs", clock,
+                root / "tmpfs", clock, backend=_backend("tmpfs"),
             ),
             StorageTier(
                 "lustre", device_preset("lustre"), slow_capacity,
-                root / "lustre", clock,
+                root / "lustre", clock, backend=_backend("lustre"),
             ),
         ]
     )

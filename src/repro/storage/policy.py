@@ -1,4 +1,4 @@
-"""Tier management policy: high-water eviction and hot promotion.
+"""Tier management policy: plan-driven eviction, promotion, re-placement.
 
 Paper §IV-B: "All runs assume that the base dataset can always fit in
 tmpfs. However, in a production environment, this may not be true and we
@@ -10,7 +10,17 @@ needs to be developed in Canopus." This module develops it:
   simulated-clock timestamps) are demoted one tier down until usage
   falls below the **low-water mark**;
 * files that are read often on a slow tier can be **promoted** to the
-  fastest tier with room, keeping hot bases fast even under pressure.
+  fastest tier with room, keeping hot bases fast even under pressure;
+* :meth:`TierManager.replan` goes further: it hands the whole inventory
+  to the cost-based :class:`~repro.storage.placement.PlacementEngine`
+  and executes the resulting :class:`PlacementPlan` — elastic
+  re-tiering that migrates deltas up and down as observed read patterns
+  shift, instead of reacting to watermarks alone.
+
+Every policy action is expressed as a plan first (``plan_rebalance`` /
+``plan_promotions`` return explainable :class:`PlacementPlan` objects
+without touching storage) and executed second, so callers can inspect
+or veto migrations before bytes move.
 """
 
 from __future__ import annotations
@@ -18,7 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.placement import (
+    PlacementDecision,
+    PlacementEngine,
+    PlacementPlan,
+)
 
 __all__ = ["AccessTracker", "TierManager"]
 
@@ -45,9 +61,19 @@ class AccessTracker:
         info = self.records.get(relpath, _AccessInfo())
         return (info.last_access, info.reads)
 
+    def reads(self, relpath: str) -> int:
+        info = self.records.get(relpath)
+        return info.reads if info is not None else 0
+
+
+def _counter(name: str, n: int = 1, **labels) -> None:
+    tracer = trace.get_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(name, **labels).inc(n)
+
 
 class TierManager:
-    """Watermark-driven migration over a :class:`StorageHierarchy`."""
+    """Plan-driven migration policy over a :class:`StorageHierarchy`."""
 
     def __init__(
         self,
@@ -64,6 +90,7 @@ class TierManager:
         self.low_water = low_water
         self.promote_after_reads = promote_after_reads
         self.tracker = AccessTracker()
+        self.engine = PlacementEngine(hierarchy)
 
     # ------------------------------------------------------------------
     def read(self, relpath: str, label: str = "") -> bytes:
@@ -73,41 +100,76 @@ class TierManager:
         return data
 
     # ------------------------------------------------------------------
+    def plan_rebalance(self) -> PlacementPlan:
+        """Plan demotions of cold files from over-watermark tiers.
+
+        Pure planning — storage is untouched. The simulation walks tiers
+        fastest-first so demotions planned out of tier *i* count against
+        tier *i+1*'s budget before that tier is itself examined, exactly
+        as eager execution would. Files on the slowest tier have nowhere
+        to go and are left alone.
+        """
+        tiers = self.hierarchy.tiers
+        sim_used = {t.name: t.used_bytes for t in tiers}
+        sim_files = {
+            t.name: {f: t.file_size(f) for f in t.list_files()} for t in tiers
+        }
+        decisions: list[PlacementDecision] = []
+        for idx, tier in enumerate(tiers[:-1]):
+            if sim_used[tier.name] <= self.high_water * tier.capacity_bytes:
+                continue
+            target = self.low_water * tier.capacity_bytes
+            victims = sorted(sim_files[tier.name], key=self.tracker.temperature)
+            for relpath in victims:
+                if sim_used[tier.name] <= target:
+                    break
+                size = sim_files[tier.name][relpath]
+                dest = None
+                for cand in tiers[idx + 1:]:
+                    if cand.capacity_bytes - sim_used[cand.name] >= size:
+                        dest = cand
+                        break
+                if dest is None:
+                    break  # nothing downstream can hold it
+                sim_used[tier.name] -= size
+                del sim_files[tier.name][relpath]
+                sim_used[dest.name] += size
+                sim_files[dest.name][relpath] = size
+                weight = float(self.tracker.reads(relpath))
+                decisions.append(
+                    PlacementDecision(
+                        key=relpath,
+                        nbytes=size,
+                        weight=weight,
+                        tier=dest.name,
+                        est_seconds=weight * dest.device.read_seconds(size),
+                        reason=(
+                            f"demote coldest: {tier.name} over high-water "
+                            f"{self.high_water:g}"
+                        ),
+                        current_tier=tier.name,
+                    )
+                )
+        return PlacementPlan(decisions)
+
     def rebalance(self) -> list[tuple[str, str, str]]:
         """Demote cold files from over-watermark tiers.
 
         Returns the migrations performed as ``(relpath, from, to)``.
-        Files on the slowest tier have nowhere to go and are left alone.
         """
-        moves: list[tuple[str, str, str]] = []
-        for idx, tier in enumerate(self.hierarchy.tiers[:-1]):
-            if tier.used_bytes <= self.high_water * tier.capacity_bytes:
-                continue
-            target = self.low_water * tier.capacity_bytes
-            victims = sorted(
-                tier.list_files(), key=self.tracker.temperature
-            )
-            for relpath in victims:
-                if tier.used_bytes <= target:
-                    break
-                dest = self._first_fit(idx + 1, tier.file_size(relpath))
-                if dest is None:
-                    break  # nothing downstream can hold it
-                self.hierarchy.migrate(relpath, dest)
-                moves.append((relpath, tier.name, dest))
-        return moves
-
-    def _first_fit(self, start_index: int, nbytes: int) -> str | None:
-        for tier in self.hierarchy.tiers[start_index:]:
-            if tier.has_capacity(nbytes):
-                return tier.name
-        return None
+        return self._execute(self.plan_rebalance())
 
     # ------------------------------------------------------------------
-    def promote_hot(self) -> list[tuple[str, str, str]]:
-        """Pull frequently-read files up to the fastest tier with room."""
-        moves: list[tuple[str, str, str]] = []
+    def plan_promotions(self) -> PlacementPlan:
+        """Plan pulls of frequently-read files up to the fastest tier.
+
+        Promotion respects the fastest tier's high-water mark so a
+        promotion never triggers the very eviction that would undo it
+        (watermark thrash).
+        """
         fastest = self.hierarchy.fastest
+        sim_used = fastest.used_bytes
+        decisions: list[PlacementDecision] = []
         for relpath, info in sorted(
             self.tracker.records.items(),
             key=lambda kv: -kv[1].reads,
@@ -118,10 +180,71 @@ class TierManager:
             if src is None or src is fastest:
                 continue
             size = src.file_size(relpath)
-            if fastest.has_capacity(size) and (
-                fastest.used_bytes + size
+            if size <= fastest.capacity_bytes - sim_used and (
+                sim_used + size
                 <= self.high_water * fastest.capacity_bytes
             ):
-                self.hierarchy.migrate(relpath, fastest.name)
-                moves.append((relpath, src.name, fastest.name))
+                sim_used += size
+                weight = float(info.reads)
+                decisions.append(
+                    PlacementDecision(
+                        key=relpath,
+                        nbytes=size,
+                        weight=weight,
+                        tier=fastest.name,
+                        est_seconds=weight * fastest.device.read_seconds(size),
+                        reason=(
+                            f"hot: {info.reads} reads >= "
+                            f"{self.promote_after_reads}"
+                        ),
+                        current_tier=src.name,
+                    )
+                )
+        return PlacementPlan(decisions)
+
+    def promote_hot(self) -> list[tuple[str, str, str]]:
+        """Pull frequently-read files up to the fastest tier with room."""
+        return self._execute(self.plan_promotions())
+
+    # ------------------------------------------------------------------
+    def replan(self, *, headroom: float | None = None) -> list[tuple[str, str, str]]:
+        """Cost-based elastic re-tiering of the whole inventory.
+
+        Asks the :class:`PlacementEngine` for a globally cost-optimal
+        re-placement weighted by live read statistics, then executes the
+        implied migrations (demotions before promotions, so fast-tier
+        capacity is freed before it is claimed). Returns the migrations
+        performed. A no-op when placement already matches demand — the
+        migration penalty in the cost model keeps cold data where it is.
+        """
+        plan = self.engine.plan_replacement(
+            self.tracker,
+            headroom=self.high_water if headroom is None else headroom,
+        )
+        return self._execute(plan, demote_first=True)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, plan: PlacementPlan, *, demote_first: bool = False
+    ) -> list[tuple[str, str, str]]:
+        """Apply a plan's migrations; returns ``(relpath, from, to)``.
+
+        With ``demote_first`` the moves are reordered so migrations
+        toward slower tiers run before promotions (relative order
+        otherwise preserved) — required for plans produced globally,
+        where promotions assume demotions have freed capacity.
+        """
+        index = {t.name: i for i, t in enumerate(self.hierarchy.tiers)}
+        moving = [d for d in plan.decisions if d.is_move]
+        if demote_first:
+            moving = (
+                [d for d in moving if index[d.tier] > index[d.current_tier]]
+                + [d for d in moving if index[d.tier] < index[d.current_tier]]
+            )
+        moves: list[tuple[str, str, str]] = []
+        for d in moving:
+            self.hierarchy.migrate(d.key, d.tier)
+            moves.append((d.key, d.current_tier, d.tier))
+            _counter("placement.migrations", src=d.current_tier, dst=d.tier)
+            _counter("placement.bytes_moved", d.nbytes)
         return moves

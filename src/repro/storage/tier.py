@@ -1,9 +1,12 @@
-"""A single storage tier: device model + capacity + backing directory.
+"""A single storage tier: device cost model + capacity accounting.
 
-Writes and reads move real bytes through real files under the tier's
-mount directory (so the end-to-end pipeline is honest), while transfer
-*times* are charged to a :class:`~repro.storage.simclock.SimClock`
-according to the tier's :class:`~repro.storage.device.DeviceModel`.
+Byte movement is delegated to a pluggable
+:class:`~repro.storage.backend.ObjectStore` backend (filesystem,
+in-memory, or sharded) — the tier itself owns only the
+:class:`~repro.storage.device.DeviceModel`, the capacity bookkeeping,
+and the simulated-clock charging. Real bytes still land in the backend
+(so the end-to-end pipeline is honest), while transfer *times* are
+charged to a :class:`~repro.storage.simclock.SimClock`.
 """
 
 from __future__ import annotations
@@ -12,10 +15,17 @@ from pathlib import Path
 
 from repro.errors import CapacityError, StorageError
 from repro.obs import trace
+from repro.storage.backend import FilesystemBackend, ObjectStore
 from repro.storage.device import DeviceModel, device_preset
 from repro.storage.simclock import IOEvent, SimClock
 
 __all__ = ["StorageTier"]
+
+
+def _counter(name: str, n: int = 1, **labels) -> None:
+    tracer = trace.get_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(name, **labels).inc(n)
 
 
 class StorageTier:
@@ -32,9 +42,12 @@ class StorageTier:
         product (paper §III-D: "If a storage tier doesn't have sufficient
         capacity, it will be bypassed and the next tier will be selected").
     root:
-        Backing directory for the tier's files (created if missing).
+        Backing directory; shorthand for a :class:`FilesystemBackend`
+        rooted there. Ignored when ``backend`` is given.
     clock:
         Shared simulated clock; a private one is created if omitted.
+    backend:
+        Explicit :class:`ObjectStore` holding the tier's bytes.
     """
 
     def __init__(
@@ -42,26 +55,34 @@ class StorageTier:
         name: str,
         device: DeviceModel | str,
         capacity_bytes: int,
-        root: str | Path,
+        root: str | Path | None = None,
         clock: SimClock | None = None,
+        *,
+        backend: ObjectStore | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise StorageError(f"tier {name!r}: capacity must be positive")
         self.name = name
         self.device = device_preset(device) if isinstance(device, str) else device
         self.capacity_bytes = int(capacity_bytes)
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        if backend is None:
+            if root is None:
+                raise StorageError(
+                    f"tier {name!r}: need a root directory or a backend"
+                )
+            backend = FilesystemBackend(root)
+        self.backend = backend
+        self.root = Path(root) if root is not None else getattr(
+            backend, "root", None
+        )
         self.clock = clock if clock is not None else SimClock()
         self._used = 0
         self._files: dict[str, int] = {}
-        # A tier directory persists across handles/processes (like a real
-        # mount): adopt whatever is already stored there.
-        for path in sorted(self.root.rglob("*")):
-            if path.is_file():
-                size = path.stat().st_size
-                self._files[str(path.relative_to(self.root))] = size
-                self._used += size
+        # A tier's store persists across handles/processes (like a real
+        # mount): adopt whatever the backend already holds.
+        for key, size in self.backend.list_objects():
+            self._files[key] = size
+            self._used += size
         if self._used > self.capacity_bytes:
             raise StorageError(
                 f"tier {name!r}: existing content ({self._used} B) exceeds "
@@ -87,10 +108,21 @@ class StorageTier:
         return sorted(self._files)
 
     def _path(self, relpath: str) -> Path:
-        p = (self.root / relpath).resolve()
-        if self.root.resolve() not in p.parents and p != self.root.resolve():
-            raise StorageError(f"path {relpath!r} escapes tier root")
-        return p
+        """Filesystem location of an object (filesystem backends only).
+
+        Retained for tools that need to reach under the abstraction —
+        corruption-injection in tests, external inspection. Non-file
+        backends have no paths and raise.
+        """
+        if not isinstance(self.backend, FilesystemBackend):
+            raise StorageError(
+                f"tier {self.name!r}: backend "
+                f"{self.backend.kind!r} has no filesystem paths"
+            )
+        try:
+            return self.backend._path(relpath)
+        except StorageError:
+            raise StorageError(f"path {relpath!r} escapes tier root") from None
 
     # ------------------------------------------------------------------
     def write(self, relpath: str, data: bytes, label: str = "") -> IOEvent:
@@ -100,7 +132,8 @@ class StorageTier:
             return self._write(relpath, data, label)
         with tracer.span(
             "tier.write", "io",
-            {"tier": self.name, "nbytes": len(data), "file": relpath},
+            {"tier": self.name, "nbytes": len(data), "file": relpath,
+             "backend": self.backend.kind},
         ):
             return self._write(relpath, data, label)
 
@@ -112,11 +145,14 @@ class StorageTier:
                 f"tier {self.name!r}: {nbytes} bytes exceed free "
                 f"{self.free_bytes} of {self.capacity_bytes}"
             )
-        path = self._path(relpath)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(data)
+        self.backend.put(relpath, data)
         self._used += nbytes - previous
         self._files[relpath] = nbytes
+        _counter("storage.backend.put", backend=self.backend.kind, tier=self.name)
+        _counter(
+            "storage.backend.put_bytes", nbytes,
+            backend=self.backend.kind, tier=self.name,
+        )
         seconds = self.device.write_seconds(nbytes)
         return self.clock.charge(self.name, "write", nbytes, seconds, label)
 
@@ -128,14 +164,20 @@ class StorageTier:
         if tracer is None:
             return self._read(relpath, label)
         with tracer.span(
-            "tier.read", "io", {"tier": self.name, "file": relpath}
+            "tier.read", "io",
+            {"tier": self.name, "file": relpath, "backend": self.backend.kind},
         ) as sp:
             data = self._read(relpath, label)
             sp.note(nbytes=len(data))
             return data
 
     def _read(self, relpath: str, label: str) -> bytes:
-        data = self._path(relpath).read_bytes()
+        data = self.backend.get(relpath)
+        _counter("storage.backend.get", backend=self.backend.kind, tier=self.name)
+        _counter(
+            "storage.backend.get_bytes", len(data),
+            backend=self.backend.kind, tier=self.name,
+        )
         seconds = self.device.read_seconds(len(data))
         self.clock.charge(self.name, "read", len(data), seconds, label)
         return data
@@ -154,7 +196,8 @@ class StorageTier:
             return self._read_range(relpath, offset, length, label)
         with tracer.span(
             "tier.read_range", "io",
-            {"tier": self.name, "nbytes": length, "file": relpath},
+            {"tier": self.name, "nbytes": length, "file": relpath,
+             "backend": self.backend.kind},
         ):
             return self._read_range(relpath, offset, length, label)
 
@@ -183,18 +226,45 @@ class StorageTier:
                 f"tier {self.name!r}: range [{offset}, {offset + length}) "
                 f"outside file of {size} bytes"
             )
-        with open(self._path(relpath), "rb") as fh:
-            fh.seek(offset)
-            return fh.read(length)
+        data = self.backend.get_range(relpath, offset, length)
+        _counter(
+            "storage.backend.get_bytes", length,
+            backend=self.backend.kind, tier=self.name,
+        )
+        return data
+
+    def peek_many(self, requests: list[tuple[str, int, int]]) -> list[bytes]:
+        """Batched uncharged ranged reads (one backend round-trip).
+
+        Sharded backends turn this into batched multi-chunk gets; the
+        default backend implementation degrades to a loop.
+        """
+        for relpath, offset, length in requests:
+            if relpath not in self._files:
+                raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
+            size = self._files[relpath]
+            if offset < 0 or length < 0 or offset + length > size:
+                raise StorageError(
+                    f"tier {self.name!r}: range [{offset}, {offset + length})"
+                    f" outside file of {size} bytes"
+                )
+        blobs = self.backend.get_many(requests)
+        _counter(
+            "storage.backend.get_bytes", sum(len(b) for b in blobs),
+            backend=self.backend.kind, tier=self.name,
+        )
+        return blobs
 
     def delete(self, relpath: str) -> None:
         """Remove a file and release its capacity."""
         if relpath not in self._files:
             raise StorageError(f"tier {self.name!r}: no file {relpath!r}")
         self._used -= self._files.pop(relpath)
-        path = self._path(relpath)
-        if path.exists():
-            path.unlink()
+        if self.backend.exists(relpath):
+            self.backend.delete(relpath)
+        _counter(
+            "storage.backend.delete", backend=self.backend.kind, tier=self.name
+        )
 
     def file_size(self, relpath: str) -> int:
         if relpath not in self._files:
@@ -204,5 +274,6 @@ class StorageTier:
     def __repr__(self) -> str:
         return (
             f"StorageTier(name={self.name!r}, device={self.device.name!r}, "
+            f"backend={self.backend.kind!r}, "
             f"used={self._used}/{self.capacity_bytes})"
         )

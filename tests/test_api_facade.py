@@ -124,29 +124,15 @@ class TestReadProgressive:
 
 
 class TestDeprecationShims:
-    def test_old_io_api_import_warns_exactly_once_per_process(self):
-        from repro.deprecation import reset_warnings
+    def test_old_io_api_shim_is_gone(self):
+        # Deprecated in PR 1, warned-once in PR 2, removed now: the
+        # supported import paths are repro.api and repro.io.dataset.
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.io.api")
+        from repro.api import BPDataset as facade_bpd
+        from repro.io.dataset import BPDataset as module_bpd
 
-        import repro.io.api  # noqa: F401  (may already be imported)
-
-        reset_warnings()  # observe the "first import" of this process
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            importlib.reload(repro.io.api)
-        first = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(first) == 1, first
-
-        # Re-importing (or reloading) must NOT warn again.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            importlib.reload(repro.io.api)
-        again = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert again == []
-        assert repro.io.api.BPDataset is BPDataset
+        assert facade_bpd is module_bpd is BPDataset
 
     def test_old_top_level_exports_still_work(self, hierarchy):
         # Pre-façade users imported these from the package root.

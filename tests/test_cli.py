@@ -136,6 +136,52 @@ class TestFsck:
         assert main(["fsck", "run", "--root", str(root)]) == 2
         assert "BAD" in capsys.readouterr().out
 
+    def test_sharded_backend_missing_chunk_report(self, generated, capsys):
+        mesh_path, root = generated
+        main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--backend", "sharded"]
+        )
+        assert main(["fsck", "run", "--root", str(root),
+                     "--backend", "sharded"]) == 0
+        capsys.readouterr()
+        # Remove one chunk file from under a sub-store directory.
+        victim = next((root / "lustre").glob("shard*/run.lustre.bp#0*"))
+        victim.unlink()
+        assert main(["fsck", "run", "--root", str(root),
+                     "--backend", "sharded"]) == 2
+        out = capsys.readouterr().out
+        assert "BAD backend[lustre]" in out
+        assert "missing chunk" in out
+
+
+class TestBackendAndPlacementFlags:
+    def test_sharded_encode_restore_roundtrip(self, generated, tmp_path, capsys):
+        mesh_path, root = generated
+        assert main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--backend", "sharded"]
+        ) == 0
+        out_path = tmp_path / "restored.npz"
+        assert main(
+            ["restore", "run", "--var", "dpot", "--root", str(root),
+             "--backend", "sharded", "--out", str(out_path)]
+        ) == 0
+        mesh, fields = load_mesh(out_path)
+        orig_mesh, orig_fields = load_mesh(mesh_path)
+        assert mesh.num_vertices == orig_mesh.num_vertices
+        assert np.allclose(fields["dpot"], orig_fields["dpot"], atol=1e-2)
+
+    def test_cost_placement_encode(self, generated, capsys):
+        mesh_path, root = generated
+        assert main(
+            ["encode", str(mesh_path), "--field", "dpot", "--dataset", "run",
+             "--root", str(root), "--placement", "cost"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dpot/L2" in out  # placed products are reported with tiers
+        assert "tmpfs" in out or "lustre" in out
+
 
 class TestTrace:
     def encode(self, generated):

@@ -5,6 +5,7 @@ import pytest
 from repro.harness import setup_experiment
 from repro.io import BPDataset
 from repro.io.fsck import check_dataset
+from repro.storage import two_tier_titan
 
 
 @pytest.fixture
@@ -66,3 +67,90 @@ class TestCheckDataset:
     def test_baseline_dataset_checks(self, setup):
         ds = BPDataset.open(setup.baseline_name, setup.hierarchy)
         assert check_dataset(ds).healthy
+
+
+class TestBackendInventory:
+    """fsck audits the per-tier object-store inventory below the catalog."""
+
+    @pytest.fixture
+    def sharded(self, tmp_path):
+        h = two_tier_titan(
+            tmp_path, fast_capacity=32 << 20, backend="sharded",
+            shards=2, chunk_size=128,
+        )
+        ds = BPDataset.create("run", h)
+        ds.write("run.a", b"x" * 1000)
+        ds.write("run.b", bytes(range(256)) * 4)
+        ds.close()
+        return h, BPDataset.open("run", h)
+
+    def _subfile_backend(self, h, ds):
+        rec = ds.inq("run.a")
+        tier = h.tier(rec.tier)
+        return tier, tier.backend, rec.subfile
+
+    def test_healthy_sharded_dataset(self, sharded):
+        _, ds = sharded
+        result = check_dataset(ds)
+        assert result.healthy
+        assert result.backend_problems == []
+
+    def test_missing_chunk_detected(self, sharded):
+        h, ds = sharded
+        tier, backend, subfile = self._subfile_backend(h, ds)
+        backend._store_for(1).delete(backend._chunk_key(subfile, 1))
+        result = check_dataset(BPDataset.open("run", h))
+        assert not result.healthy
+        assert any(
+            "missing chunk" in p and t == tier.name
+            for t, p in result.backend_problems
+        )
+        assert "BAD backend[" in result.report()
+
+    def test_crc_mismatch_across_chunk_boundaries(self, sharded):
+        h, ds = sharded
+        _, backend, subfile = self._subfile_backend(h, ds)
+        # Swap two equal-size chunks: sizes all check out, only the
+        # whole-object CRC spanning boundaries can notice.
+        k0, k1 = (backend._chunk_key(subfile, i) for i in (0, 1))
+        s0, s1 = backend._store_for(0), backend._store_for(1)
+        c0, c1 = s0.get(k0), s1.get(k1)
+        s0.put(k0, c1)
+        s1.put(k1, c0)
+        result = check_dataset(BPDataset.open("run", h))
+        assert any("crc mismatch" in p for _, p in result.backend_problems)
+
+    def test_orphaned_chunk_detected(self, sharded):
+        h, ds = sharded
+        _, backend, _ = self._subfile_backend(h, ds)
+        backend._store_for(1).put("run.ghost.bp#000001", b"stray")
+        result = check_dataset(ds)
+        assert any(
+            "orphaned chunk" in p for _, p in result.backend_problems
+        )
+
+    def test_findings_scoped_to_dataset(self, sharded):
+        h, ds = sharded
+        _, backend, _ = self._subfile_backend(h, ds)
+        # Damage belonging to a *different* dataset sharing the tier must
+        # not fail this dataset's fsck.
+        backend._store_for(0).put("other.lustre.bp#000000", b"stray")
+        assert check_dataset(ds).healthy
+
+    def test_footer_reparse_through_backend(self, tmp_path):
+        h = two_tier_titan(tmp_path, backend="memory")
+        ds = BPDataset.create("run", h)
+        ds.write("run.a", b"payload")
+        ds.close()
+        rd = BPDataset.open("run", h)
+        rec = rd.inq("run.a")
+        tier = h.tier(rec.tier)
+        # Truncate the subfile behind the tier's accounting: the footer
+        # re-parse through ranged backend reads must flag it.
+        blob = tier.backend.get(rec.subfile)
+        tier.backend.put(rec.subfile, blob[: len(blob) // 2])
+        result = check_dataset(rd)
+        assert any(
+            "footer unreadable" in p or "unreadable" in p
+            for _, p in (result.backend_problems + result.problems)
+        )

@@ -1,4 +1,13 @@
-"""Tests for the simulated storage hierarchy."""
+"""Tests for the simulated storage hierarchy.
+
+The whole module runs against any object-store backend: set
+``REPRO_BACKEND=filesystem|memory|sharded`` (the CI tier matrix) to
+re-run it over a different byte store. Filesystem-only semantics
+(on-disk persistence across handles, path escapes) are skipped where a
+backend cannot express them.
+"""
+
+import os
 
 import numpy as np
 import pytest
@@ -11,8 +20,25 @@ from repro.storage import (
     StorageHierarchy,
     StorageTier,
     device_preset,
+    make_backend,
     two_tier_titan,
 )
+
+#: Backend kind under test; the CI tier matrix sweeps all three.
+BACKEND = os.environ.get("REPRO_BACKEND", "filesystem")
+
+persistent_only = pytest.mark.skipif(
+    BACKEND == "memory",
+    reason="memory backend state dies with the handle (by design)",
+)
+
+
+def _tier(name, device, capacity, root, clock=None):
+    """A StorageTier over the backend kind selected for this run."""
+    if BACKEND == "filesystem":
+        return StorageTier(name, device, capacity, root, clock)
+    backend = make_backend(BACKEND, root, shards=2, chunk_size=97)
+    return StorageTier(name, device, capacity, clock=clock, backend=backend)
 
 
 @pytest.fixture
@@ -20,9 +46,9 @@ def hierarchy(tmp_path):
     clock = SimClock()
     return StorageHierarchy(
         [
-            StorageTier("fast", "dram_tmpfs", 1000, tmp_path / "fast", clock),
-            StorageTier("mid", "ssd", 10_000, tmp_path / "mid", clock),
-            StorageTier("slow", "lustre", 1_000_000, tmp_path / "slow", clock),
+            _tier("fast", "dram_tmpfs", 1000, tmp_path / "fast", clock),
+            _tier("mid", "ssd", 10_000, tmp_path / "mid", clock),
+            _tier("slow", "lustre", 1_000_000, tmp_path / "slow", clock),
         ]
     )
 
@@ -74,7 +100,7 @@ class TestSimClock:
 
 class TestStorageTier:
     def test_write_read_roundtrip(self, tmp_path):
-        tier = StorageTier("t", "ssd", 1000, tmp_path)
+        tier = _tier("t", "ssd", 1000, tmp_path)
         tier.write("x.bin", b"hello")
         assert tier.read("x.bin") == b"hello"
         assert tier.used_bytes == 5
@@ -82,33 +108,33 @@ class TestStorageTier:
         assert tier.file_size("x.bin") == 5
 
     def test_read_range(self, tmp_path):
-        tier = StorageTier("t", "ssd", 1000, tmp_path)
+        tier = _tier("t", "ssd", 1000, tmp_path)
         tier.write("x.bin", b"0123456789")
         assert tier.read_range("x.bin", 2, 4) == b"2345"
         # Only the range is charged.
         assert tier.clock.events[-1].nbytes == 4
 
     def test_read_range_out_of_bounds(self, tmp_path):
-        tier = StorageTier("t", "ssd", 1000, tmp_path)
+        tier = _tier("t", "ssd", 1000, tmp_path)
         tier.write("x.bin", b"abc")
         with pytest.raises(StorageError):
             tier.read_range("x.bin", 1, 5)
 
     def test_capacity_enforced(self, tmp_path):
-        tier = StorageTier("t", "ssd", 10, tmp_path)
+        tier = _tier("t", "ssd", 10, tmp_path)
         tier.write("a", b"12345")
         with pytest.raises(CapacityError):
             tier.write("b", b"123456")
 
     def test_overwrite_releases_previous(self, tmp_path):
-        tier = StorageTier("t", "ssd", 10, tmp_path)
+        tier = _tier("t", "ssd", 10, tmp_path)
         tier.write("a", b"1234567890")
         tier.write("a", b"123")  # shrink in place
         assert tier.used_bytes == 3
         tier.write("b", b"1234567")
 
     def test_delete(self, tmp_path):
-        tier = StorageTier("t", "ssd", 10, tmp_path)
+        tier = _tier("t", "ssd", 10, tmp_path)
         tier.write("a", b"12345")
         tier.delete("a")
         assert tier.used_bytes == 0
@@ -117,42 +143,47 @@ class TestStorageTier:
             tier.read("a")
 
     def test_missing_file(self, tmp_path):
-        tier = StorageTier("t", "ssd", 10, tmp_path)
+        tier = _tier("t", "ssd", 10, tmp_path)
         with pytest.raises(StorageError):
             tier.read("ghost")
         with pytest.raises(StorageError):
             tier.delete("ghost")
 
+    @pytest.mark.skipif(
+        BACKEND == "memory", reason="memory backend has no paths to escape"
+    )
     def test_path_escape_rejected(self, tmp_path):
-        tier = StorageTier("t", "ssd", 1000, tmp_path / "root")
+        tier = _tier("t", "ssd", 1000, tmp_path / "root")
         with pytest.raises(StorageError):
             tier.write("../escape.bin", b"x")
 
     def test_clock_charged_by_device_model(self, tmp_path):
         clock = SimClock()
-        tier = StorageTier("t", "lustre", 10**9, tmp_path, clock)
+        tier = _tier("t", "lustre", 10**9, tmp_path, clock)
         tier.write("a", b"x" * 1000)
         expect = device_preset("lustre").write_seconds(1000)
         assert clock.elapsed == pytest.approx(expect)
 
     def test_zero_capacity_rejected(self, tmp_path):
         with pytest.raises(StorageError):
-            StorageTier("t", "ssd", 0, tmp_path)
+            _tier("t", "ssd", 0, tmp_path)
 
+    @persistent_only
     def test_reopen_adopts_existing_files(self, tmp_path):
-        """A tier directory persists like a real mount across handles."""
-        t1 = StorageTier("t", "ssd", 1000, tmp_path)
+        """A tier's store persists like a real mount across handles."""
+        t1 = _tier("t", "ssd", 1000, tmp_path)
         t1.write("sub/a.bin", b"hello")
-        t2 = StorageTier("t", "ssd", 1000, tmp_path)
+        t2 = _tier("t", "ssd", 1000, tmp_path)
         assert t2.exists("sub/a.bin")
         assert t2.used_bytes == 5
         assert t2.read("sub/a.bin") == b"hello"
 
+    @persistent_only
     def test_reopen_over_capacity_rejected(self, tmp_path):
-        t1 = StorageTier("t", "ssd", 1000, tmp_path)
+        t1 = _tier("t", "ssd", 1000, tmp_path)
         t1.write("a.bin", b"x" * 100)
         with pytest.raises(StorageError):
-            StorageTier("t", "ssd", 50, tmp_path)
+            _tier("t", "ssd", 50, tmp_path)
 
 
 class TestHierarchy:
@@ -243,7 +274,11 @@ class TestHierarchy:
         assert usage["slow"]["capacity"] == 1_000_000
 
     def test_two_tier_titan_factory(self, tmp_path):
-        h = two_tier_titan(tmp_path, fast_capacity=1024, slow_capacity=10**6)
+        h = two_tier_titan(
+            tmp_path, fast_capacity=1024, slow_capacity=10**6,
+            backend=BACKEND,
+        )
         assert h.tier_names() == ["tmpfs", "lustre"]
         assert h.fastest.device.name == "dram_tmpfs"
         assert h.slowest.device.name == "lustre"
+        assert h.fastest.backend.kind == BACKEND

@@ -2,18 +2,22 @@
 
 One blessed import surface for the common workflows::
 
-    from repro.api import open_dataset, write_campaign, read_progressive
+    from repro.api import Session, write_campaign
 
-* :func:`open_dataset` — open (or create) a :class:`~repro.io.dataset.BPDataset`
-  backed by the concurrent retrieval engine (tiered LRU range cache +
-  prefetch);
+* :class:`Session` / :class:`CampaignHandle` — the read surface: open a
+  hierarchy once, then ``session.open(name)`` and
+  ``campaign.restore(var, level=..., tolerance=..., region=...)``,
+  ``restore_many``, ``stats``. Both in-process analytics and the HTTP
+  read tier (:mod:`repro.service`) run on this exact API;
 * :func:`write_campaign` — Canopus-encode a timestep series of one
   variable with shared geometry;
-* :func:`read_progressive` — a pipelined :class:`~repro.core.progressive.
-  ProgressiveReader` that overlaps tier I/O with decompress/apply;
 * :func:`trace_session` — dual-clock tracing (wall + simulated I/O
   time) of everything executed inside the ``with`` block, exportable as
   Chrome trace-event JSON (see :mod:`repro.obs`).
+
+The PR 1 helpers :func:`open_dataset` and :func:`read_progressive`
+remain as thin wrappers but are deprecated in favour of the session
+surface (they warn once per process).
 
 The classes behind these helpers are re-exported here too, so
 ``repro.api`` is a stable one-stop namespace. (The historical
@@ -48,6 +52,7 @@ from repro.core.restored_cache import (
     get_geometry_cache,
     get_restored_cache,
 )
+from repro.deprecation import warn_once
 from repro.errors import BPFormatError, CanopusError
 from repro.io.cache import RangeCache
 from repro.io.dataset import BPDataset
@@ -55,6 +60,7 @@ from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.xmlconfig import parse_config
 from repro.mesh.triangle_mesh import TriangleMesh
 from repro.obs import MetricsRegistry, Tracer, get_registry, trace_session
+from repro.session import CampaignHandle, Session
 from repro.storage.backend import (
     FilesystemBackend,
     MemoryBackend,
@@ -72,11 +78,14 @@ from repro.storage.policy import TierManager
 
 __all__ = [
     # helpers (the blessed entry points)
-    "open_dataset",
+    "Session",
+    "CampaignHandle",
     "write_campaign",
+    "trace_session",
+    # deprecated thin wrappers (PR 1 surface)
+    "open_dataset",
     "read_progressive",
     "read_progressive_many",
-    "trace_session",
     # re-exported building blocks
     "BPDataset",
     "CampaignReader",
@@ -136,7 +145,18 @@ def open_dataset(
     ``placement`` selects the write-side policy: the paper's
     fastest-first capacity ``walk`` or the ``cost``-based
     :class:`PlacementEngine` plan applied at close.
+
+    .. deprecated:: PR 6
+        For reading, prefer ``Session(hierarchy).open(name)`` — the
+        session surface shared with the HTTP read tier.
     """
+    if mode == "r":
+        warn_once(
+            "api.open_dataset",
+            "repro.api.open_dataset(mode='r') is deprecated; use "
+            "Session(hierarchy).open(name) instead",
+            stacklevel=2,
+        )
     if mode not in ("r", "w"):
         raise BPFormatError(f"mode must be 'r' or 'w', not {mode!r}")
     return BPDataset(
@@ -216,7 +236,19 @@ def read_progressive(
     chunks whose recorded correction magnitude is below the threshold
     (bounded-lossy retrieval; requires the variable to be stored with
     spatial chunks to save any I/O).
+
+    .. deprecated:: PR 6
+        Prefer ``Session(hierarchy).open(name).restore(var,
+        level=..., tolerance=...)``; for explicit level-by-level
+        iteration keep constructing :class:`ProgressiveReader` directly.
     """
+    warn_once(
+        "api.read_progressive",
+        "repro.api.read_progressive is deprecated; use "
+        "Session(hierarchy).open(name).restore(var, level=..., "
+        "tolerance=...) instead",
+        stacklevel=2,
+    )
     decoder = (
         dataset if isinstance(dataset, CanopusDecoder)
         else CanopusDecoder(dataset)

@@ -125,6 +125,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arg(res)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve the read tier over HTTP (asyncio, multi-tenant)",
+    )
+    srv.add_argument("--root", required=True, help="storage root directory")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8686,
+        help="listen port (0 picks a free one)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=4,
+        help="decode fan-out width per restore",
+    )
+    srv.add_argument(
+        "--executor-workers", type=int, default=8,
+        help="bounded executor size for blocking decode work",
+    )
+    srv.add_argument(
+        "--tenants", default=None,
+        help="JSON file: [{\"name\":..., \"token\":..., "
+        "\"max_requests\":..., \"max_bytes\":..., \"max_inflight\":..., "
+        "\"window_seconds\":...}, ...]; omitted = open access (dev only)",
+    )
+    _add_backend_arg(srv)
+
     tr = sub.add_parser(
         "trace",
         help="progressively read a variable under the dual-clock tracer",
@@ -280,6 +306,43 @@ def _cmd_restore(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import CanopusService, TenantRegistry
+
+    hierarchy = _hierarchy(args.root, backend=args.backend)
+    if args.tenants:
+        registry = TenantRegistry.from_file(args.tenants)
+    else:
+        registry = TenantRegistry.open_access()
+    service = CanopusService(
+        hierarchy,
+        tenants=registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor_workers=args.executor_workers,
+    )
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        names = ", ".join(t.name for t in registry.tenants())
+        print(f"serving {args.root} on http://{host}:{port} (tenants: {names})")
+        try:
+            await service._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import trace_session
 
@@ -329,6 +392,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "fsck": _cmd_fsck,
     "restore": _cmd_restore,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

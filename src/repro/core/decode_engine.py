@@ -42,6 +42,7 @@ import numpy as np
 from repro.core.decoder import CanopusDecoder, LevelData, PhaseTimings
 from repro.core.restored_cache import (
     RestoredLevelCache,
+    dataset_fingerprint,
     get_restored_cache,
 )
 from repro.errors import RestorationError
@@ -95,6 +96,12 @@ class DecodeEngine:
         self.decoder = CanopusDecoder(
             dataset, workers=workers, share_geometry=True
         )
+        #: Content fingerprint of the open catalog, snapshotted once.
+        #: Every cache key below derives from this string — the
+        #: tenant-visible content identity — never from handle identity,
+        #: so any two engines (sessions, service tenants) over the same
+        #: bytes share restored-level entries.
+        self.fingerprint = dataset_fingerprint(dataset)
 
     # ------------------------------------------------------------------
     @property
@@ -150,7 +157,7 @@ class DecodeEngine:
         if cache is not None:
             hit = cache.get(
                 cache.key_for(
-                    self.dataset, var, level,
+                    self.fingerprint, var, level,
                     region=region, min_significance=min_significance,
                 )
             )
@@ -178,7 +185,7 @@ class DecodeEngine:
         if cache is not None:
             cache.put(
                 cache.key_for(
-                    self.dataset, var, level,
+                    self.fingerprint, var, level,
                     region=region, min_significance=min_significance,
                 ),
                 state.field,
@@ -227,7 +234,7 @@ class DecodeEngine:
                 keys: list[str] = []
                 for var in variables:
                     if cache is not None and cache.has(
-                        cache.key_for(self.dataset, var, level)
+                        cache.key_for(self.fingerprint, var, level)
                     ):
                         continue  # no bytes needed for this chain
                     keys.extend(self._chain_keys(var, level))

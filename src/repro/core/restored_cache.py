@@ -129,19 +129,31 @@ class RestoredLevelCache:
         region: tuple[np.ndarray, np.ndarray] | None = None,
         min_significance: float = 0.0,
     ) -> tuple:
+        """Cache key: content identity + tenant-visible filter state only.
+
+        ``dataset`` may be an open dataset *or* an already-computed
+        fingerprint string — nothing about the handle (engine width,
+        checksum policy, which session/tenant opened it) enters the key,
+        so any two sessions restoring the same
+        ``(fingerprint, var, level, region, min_significance)`` share
+        one entry. Filter values are normalized (plain floats, ``-0.0``
+        folded to ``0.0``) so equivalent requests spelled with lists vs
+        arrays collide onto the same key.
+        """
         region_token = None
         if region is not None:
             lo, hi = region
             region_token = (
-                tuple(float(v) for v in np.asarray(lo).ravel()),
-                tuple(float(v) for v in np.asarray(hi).ravel()),
+                tuple(float(v) + 0.0 for v in np.asarray(lo).ravel()),
+                tuple(float(v) + 0.0 for v in np.asarray(hi).ravel()),
             )
+        fp = dataset if isinstance(dataset, str) else dataset_fingerprint(dataset)
         return (
-            dataset_fingerprint(dataset),
-            var,
+            fp,
+            str(var),
             int(level),
             region_token,
-            float(min_significance),
+            float(min_significance) + 0.0,
         )
 
     # -- access ---------------------------------------------------------

@@ -3,75 +3,216 @@
 Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
 caller embedding the library can catch a single base class. Subsystem
 errors mirror the package layout: mesh, compression, I/O container,
-storage hierarchy, and the Canopus encode/decode core.
+storage hierarchy, the Canopus encode/decode core, and the read-tier
+service.
+
+Every class carries a stable machine-readable ``code`` string (also
+surfaced as ``exc.code`` on instances). Codes — not Python class names —
+are the contract the service layer exposes: :data:`HTTP_STATUS` maps
+each code to exactly one HTTP status, so ``repro.service`` translates
+library failures 1:1 into wire responses (400/404/409/429/503, with 401
+for auth and 500 for internal faults) and clients can branch on
+``body["code"]`` without importing this module.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MeshError",
+    "DecimationError",
+    "PointLocationError",
+    "CompressionError",
+    "UnknownCodecError",
+    "BitstreamError",
+    "BPFormatError",
+    "VariableNotFoundError",
+    "TransportError",
+    "ConfigError",
+    "StorageError",
+    "CapacityError",
+    "CanopusError",
+    "RefactoringError",
+    "RestorationError",
+    "AnalyticsError",
+    "ServiceError",
+    "AuthError",
+    "QuotaError",
+    "ConflictError",
+    "HTTP_STATUS",
+    "error_code",
+    "http_status",
+]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
+    #: Stable machine-readable error code (see :data:`HTTP_STATUS`).
+    code = "internal"
+
 
 class MeshError(ReproError):
     """Invalid mesh topology or geometry."""
+
+    code = "mesh"
 
 
 class DecimationError(MeshError):
     """Edge-collapse decimation could not reach the requested ratio."""
 
+    code = "decimation"
+
 
 class PointLocationError(MeshError):
     """A query point could not be located in any triangle."""
+
+    code = "point-location"
 
 
 class CompressionError(ReproError):
     """A compressor failed to encode or decode a payload."""
 
+    code = "codec"
+
 
 class UnknownCodecError(CompressionError):
     """Codec name not present in the compressor registry."""
+
+    code = "unknown-codec"
 
 
 class BitstreamError(CompressionError):
     """Bit-level stream underflow/overflow or corrupt header."""
 
+    code = "bitstream"
+
 
 class BPFormatError(ReproError):
     """Corrupt or unsupported BP container content."""
+
+    code = "bad-format"
 
 
 class VariableNotFoundError(BPFormatError):
     """Requested variable (or level) absent from the container index."""
 
+    code = "not-found"
+
 
 class TransportError(ReproError):
     """An I/O transport failed or was misconfigured."""
+
+    code = "transport"
 
 
 class ConfigError(ReproError):
     """Invalid XML/ dict configuration."""
 
+    code = "bad-config"
+
 
 class StorageError(ReproError):
     """Storage-hierarchy misuse (capacity, unknown tier, eviction)."""
+
+    code = "storage"
 
 
 class CapacityError(StorageError):
     """No tier had sufficient capacity for a placement."""
 
+    code = "capacity"
+
 
 class CanopusError(ReproError):
     """Canopus encode/decode pipeline failure."""
+
+    code = "canopus"
 
 
 class RefactoringError(CanopusError):
     """Data refactoring (decimation/delta) failure."""
 
+    code = "refactoring"
+
 
 class RestorationError(CanopusError):
     """Progressive restoration failure (missing delta, level mismatch)."""
 
+    code = "bad-request"
+
 
 class AnalyticsError(ReproError):
     """Analytics-side failure (rasterization, blob detection)."""
+
+    code = "analytics"
+
+
+# -- service-facing errors (repro.service) ------------------------------
+
+
+class ServiceError(ReproError):
+    """Read-tier service failure (routing, payload, lifecycle)."""
+
+    code = "service"
+
+
+class AuthError(ServiceError):
+    """Missing or invalid tenant credential."""
+
+    code = "unauthorized"
+
+
+class QuotaError(ServiceError):
+    """A tenant exceeded its request/byte/concurrency quota."""
+
+    code = "quota-exceeded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: Seconds after which the client may retry (429 Retry-After).
+        self.retry_after = retry_after
+
+
+class ConflictError(ServiceError):
+    """Client state no longer matches server state (stale cursor)."""
+
+    code = "conflict"
+
+
+#: One HTTP status per error code — the 1:1 wire contract.
+HTTP_STATUS: dict[str, int] = {
+    # 4xx — the request (or the client's quota/state) is at fault
+    "bad-request": 400,
+    "bad-format": 400,
+    "bad-config": 400,
+    "unknown-codec": 400,
+    "unauthorized": 401,
+    "not-found": 404,
+    "conflict": 409,
+    "quota-exceeded": 429,
+    # 5xx — the store or service is at fault
+    "storage": 503,
+    "capacity": 503,
+    "transport": 503,
+    "internal": 500,
+    "mesh": 500,
+    "decimation": 500,
+    "point-location": 500,
+    "codec": 500,
+    "bitstream": 500,
+    "canopus": 500,
+    "refactoring": 500,
+    "analytics": 500,
+    "service": 503,
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """Stable code for any exception (non-repro errors are internal)."""
+    return getattr(exc, "code", None) or "internal"
+
+
+def http_status(exc: BaseException) -> int:
+    """The single HTTP status an error translates to on the wire."""
+    return HTTP_STATUS.get(error_code(exc), 500)

@@ -99,12 +99,25 @@ class EngineStats:
             f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
+    @property
+    def hit_ratio(self) -> float:
+        """Range-cache hit fraction over all lookups (0.0 when idle).
+
+        The service's ``/v1/metrics`` endpoint surfaces this per open
+        campaign, so operators see cache effectiveness without scraping
+        raw counters.
+        """
+        hits = self.registry.value("engine.hits")
+        total = hits + self.registry.value("engine.misses")
+        return hits / total if total else 0.0
+
     def snapshot(self) -> dict:
         """Point-in-time copy of every counter (thread-safe)."""
         out: dict = {name: self.registry.value(f"engine.{name}")
                      for name in self._SCALARS}
         for name in self._BY_TIER:
             out[name] = self.registry.label_values(f"engine.{name}", "tier")
+        out["hit_ratio"] = self.hit_ratio
         return out
 
     def as_dict(self) -> dict:

@@ -230,6 +230,21 @@ class MetricsRegistry:
             out[qualified] = metric._snapshot_value()
         return out
 
+    def prefix_snapshot(self, prefix: str) -> dict[str, object]:
+        """:meth:`snapshot` restricted to names under ``prefix``.
+
+        ``prefix`` matches whole dotted components (``"service"``
+        matches ``service.requests`` but not ``services.x``), which is
+        what subsystem views want — e.g. the read tier's
+        ``/v1/metrics`` reports only its own ``service.*`` family.
+        """
+        want = prefix.rstrip(".") + "."
+        return {
+            name: value
+            for name, value in self.snapshot().items()
+            if name.startswith(want)
+        }
+
     def reset(self) -> None:
         """Zero every instrument in place (references stay valid)."""
         for metric in list(self._metrics.values()):

@@ -1,0 +1,206 @@
+"""High-level asyncio client for the Canopus read tier.
+
+Wraps one keep-alive :class:`~repro.service.http.ClientConnection` with
+typed methods mirroring the endpoint surface. Non-2xx responses raise
+the *same* exception classes the server mapped from — the wire contract
+is the ``code`` string, so ``except VariableNotFoundError`` works the
+same whether the library runs in-process or behind the service.
+
+.. code-block:: python
+
+    async with ServiceClient(host, port, token="s3cret") as client:
+        info = await client.open_campaign("fig9-multi")
+        field, meta = await client.restore("fig9-multi", "dpot", level=1)
+        finer, meta = await client.restore(
+            "fig9-multi", "dpot", level=0, cursor=meta["cursor"]
+        )
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.errors import (
+    AuthError,
+    ConflictError,
+    QuotaError,
+    ReproError,
+    RestorationError,
+    ServiceError,
+    StorageError,
+    VariableNotFoundError,
+)
+from repro.service.http import ClientConnection, Response
+
+__all__ = ["ServiceClient"]
+
+#: Wire code → exception raised client-side (subset that matters to
+#: callers; anything unrecognized raises plain ReproError).
+_CODE_TO_ERROR: dict[str, type[ReproError]] = {
+    "unauthorized": AuthError,
+    "quota-exceeded": QuotaError,
+    "not-found": VariableNotFoundError,
+    "conflict": ConflictError,
+    "bad-request": RestorationError,
+    "bad-format": RestorationError,
+    "storage": StorageError,
+    "capacity": StorageError,
+    "service": ServiceError,
+}
+
+
+def _raise_for(response: Response) -> None:
+    if response.status < 400:
+        return
+    try:
+        payload = response.parsed_json()
+    except ValueError:
+        payload = {}
+    code = payload.get("code", "internal")
+    message = payload.get("error", f"HTTP {response.status}")
+    cls = _CODE_TO_ERROR.get(code, ReproError)
+    if cls is QuotaError:
+        retry = float(response.header("retry-after", "1.0") or 1.0)
+        raise QuotaError(message, retry_after=retry)
+    raise cls(message)
+
+
+class ServiceClient:
+    """One tenant's connection to a running :class:`CanopusService`."""
+
+    def __init__(self, host: str, port: int, *, token: str = "") -> None:
+        self.token = token
+        self._conn = ClientConnection(host, port)
+
+    # -- plumbing -------------------------------------------------------
+    def _headers(self, extra: dict | None = None) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if self.token:
+            headers["authorization"] = f"Bearer {self.token}"
+        if extra:
+            headers.update(extra)
+        return headers
+
+    async def _get(self, target: str, *, headers: dict | None = None) -> Response:
+        return await self._conn.request(
+            "GET", target, headers=self._headers(headers)
+        )
+
+    @staticmethod
+    def _query(params: dict) -> str:
+        pairs = [
+            f"{k}={v}" for k, v in params.items() if v is not None and v != ""
+        ]
+        return "?" + "&".join(pairs) if pairs else ""
+
+    # -- endpoints ------------------------------------------------------
+    async def healthz(self) -> bool:
+        resp = await self._conn.request("GET", "/healthz")
+        return resp.status == 200 and resp.parsed_json().get("ok") is True
+
+    async def open_campaign(self, name: str) -> dict:
+        resp = await self._conn.request(
+            "POST", f"/v1/campaigns/{name}/open", headers=self._headers()
+        )
+        _raise_for(resp)
+        return resp.parsed_json()
+
+    async def restore(
+        self,
+        name: str,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region=None,
+        min_significance: float = 0.0,
+        cursor: str | None = None,
+        if_none_match: str | None = None,
+    ) -> tuple[np.ndarray | None, dict]:
+        """Restore a variable; returns ``(field, meta)``.
+
+        ``field`` is ``None`` on a 304 (the ``if_none_match`` cursor
+        already names the result). ``meta`` carries ``level``,
+        ``cursor``, ``rms``, ``cache`` and the raw byte count.
+        """
+        params: dict = {
+            "level": level,
+            "tolerance": tolerance,
+            "min_significance": min_significance or None,
+            "cursor": cursor,
+        }
+        if region is not None:
+            lo, hi = region
+            params["region"] = (
+                ",".join(repr(float(v)) for v in np.asarray(lo).ravel())
+                + ":"
+                + ",".join(repr(float(v)) for v in np.asarray(hi).ravel())
+            )
+        headers = {}
+        if if_none_match:
+            headers["if-none-match"] = f'"{if_none_match}"'
+        resp = await self._get(
+            f"/v1/campaigns/{name}/vars/{var}/restore" + self._query(params),
+            headers=headers,
+        )
+        _raise_for(resp)
+        meta = {
+            "cursor": resp.header("x-canopus-cursor"),
+            "cache": resp.header("x-canopus-cache"),
+            "bytes": len(resp.body),
+            "status": resp.status,
+        }
+        if resp.status == 304:
+            return None, meta
+        meta["level"] = int(resp.header("x-canopus-level", "-1"))
+        rms_raw = resp.header("x-canopus-rms", "nan") or "nan"
+        meta["rms"] = float(rms_raw)
+        field = np.load(io.BytesIO(resp.body), allow_pickle=False)
+        return field, meta
+
+    async def stats(
+        self, name: str, var: str, *, level: int | None = None
+    ) -> list[dict]:
+        resp = await self._get(
+            f"/v1/campaigns/{name}/vars/{var}/stats"
+            + self._query({"level": level})
+        )
+        _raise_for(resp)
+        return resp.parsed_json()["chunks"]
+
+    async def read_raw(
+        self,
+        name: str,
+        key: str,
+        *,
+        start: int = 0,
+        length: int | None = None,
+    ) -> tuple[bytes, dict]:
+        resp = await self._get(
+            f"/v1/campaigns/{name}/raw/{key}"
+            + self._query({"start": start or None, "length": length})
+        )
+        _raise_for(resp)
+        meta = {
+            k[len("x-canopus-") :]: v
+            for k, v in resp.headers.items()
+            if k.startswith("x-canopus-")
+        }
+        return resp.body, meta
+
+    async def metrics(self) -> dict:
+        resp = await self._get("/v1/metrics")
+        _raise_for(resp)
+        return resp.parsed_json()
+
+    async def close(self) -> None:
+        await self._conn.close()
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self._conn.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

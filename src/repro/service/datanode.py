@@ -1,0 +1,349 @@
+"""Data node: runs the decode engine near the bytes, off the event loop.
+
+The HSDS-style split puts everything that touches storage on this side:
+one process-wide :class:`~repro.session.Session` owns the open datasets
+(and therefore each dataset's retrieval engine + prefetch pipeline),
+and every blocking restore/stat/raw-read runs on a **bounded**
+``ThreadPoolExecutor`` so the asyncio service node above never blocks.
+Admission beyond the executor's queue bound is awaited, not rejected —
+backpressure, with the event loop free to keep serving cheap requests.
+
+Multi-tenant sharing happens here by construction:
+
+* all tenants' restores go through the same
+  :class:`~repro.core.decode_engine.DecodeEngine` per campaign, so the
+  process-wide restored-level/geometry caches and the engine's range
+  cache/prefetch are shared — a second tenant asking for the same
+  ``(fingerprint, var, level, filters)`` is a cache hit, because cache
+  keys carry content identity + tenant-visible filter state only;
+* *accounting* stays per tenant: a listener on the hierarchy's
+  :class:`~repro.storage.simclock.SimClock` attributes every simulated
+  read charged by a worker thread to the tenant bound to that thread
+  (charges are issued at submit time on the restoring thread, so the
+  attribution is deterministic).
+
+Delta cursors: every restore result carries an ETag-like cursor
+``<fp12>.<var>.L<level>.<filter digest>``. A client resuming with the
+cursor of a level it already holds gets 304 (nothing to send) when it
+re-requests that level, a warm-started refinement when it asks for a
+finer one, and a 409 conflict if the campaign's content fingerprint no
+longer matches (the store was rewritten under the cursor).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.decoder import LevelData
+from repro.core.restored_cache import get_restored_cache
+from repro.errors import (
+    ConflictError,
+    RestorationError,
+    StorageError,
+    VariableNotFoundError,
+)
+from repro.obs import trace
+from repro.service.tenants import TenantConfig, TenantRegistry
+from repro.session import CampaignHandle, Session
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = ["DataNode", "RestoreResult"]
+
+
+def _filter_digest(region, min_significance: float) -> str:
+    """Stable 8-hex digest of the tenant-visible filter state."""
+    h = hashlib.blake2b(digest_size=4)
+    if region is not None:
+        lo, hi = region
+        for arr in (lo, hi):
+            for v in np.asarray(arr, dtype=np.float64).ravel():
+                h.update(repr(float(v) + 0.0).encode())
+    h.update(repr(float(min_significance) + 0.0).encode())
+    return h.hexdigest()
+
+
+class RestoreResult:
+    """One finished restore plus its wire identity.
+
+    ``state`` is ``None`` when the client's ``If-None-Match`` cursor
+    already names the result (the 304 fast path).
+    """
+
+    __slots__ = ("state", "cursor", "cache_hit")
+
+    def __init__(
+        self, state: LevelData | None, cursor: str, cache_hit: bool
+    ) -> None:
+        self.state = state
+        self.cursor = cursor
+        self.cache_hit = cache_hit
+
+
+class DataNode:
+    """Near-data execution layer shared by every service-node handler.
+
+    Parameters
+    ----------
+    hierarchy:
+        The storage hierarchy to serve (owns backends + SimClock).
+    tenants:
+        The registry used for per-tenant sim-read attribution; the
+        service node passes the same instance it authenticates with.
+    workers:
+        Decode fan-out width per restore (Session/DecodeEngine width).
+    executor_workers:
+        Bounded executor size for blocking work. Queued jobs beyond
+        ``executor_workers * queue_factor`` wait asynchronously.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        *,
+        tenants: TenantRegistry | None = None,
+        workers: int = 4,
+        executor_workers: int = 8,
+        queue_factor: int = 4,
+        cache_bytes: int = 64 << 20,
+        verify_checksums: bool = True,
+    ) -> None:
+        if executor_workers < 1:
+            raise RestorationError("executor_workers must be >= 1")
+        self.hierarchy = hierarchy
+        self.tenants = tenants
+        self.session = Session(
+            hierarchy,
+            workers=workers,
+            cache_bytes=cache_bytes,
+            verify_checksums=verify_checksums,
+        )
+        self.executor_workers = int(executor_workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_workers,
+            thread_name_prefix="repro-datanode",
+        )
+        self._slots = asyncio.Semaphore(
+            self.executor_workers * max(1, int(queue_factor))
+        )
+        self._open_lock = threading.Lock()
+        self._tls = threading.local()
+        self._closed = False
+        # Attribute simulated read seconds to the tenant bound to the
+        # charging thread (see _run). Charges from untenanted threads
+        # (e.g. in-process library use) are left unattributed.
+        self._clock_listener = self._on_sim_charge
+        hierarchy.clock.add_listener(self._clock_listener)
+
+    # -- sim-read attribution ------------------------------------------
+    def _on_sim_charge(self, events, advance: float, after: float) -> None:
+        tenant = getattr(self._tls, "tenant", None)
+        if tenant is not None and advance > 0 and self.tenants is not None:
+            read_s = sum(e.seconds for e in events if e.op == "read")
+            if read_s > 0:
+                self.tenants.charge_sim_read(tenant, min(advance, read_s))
+
+    # -- bounded offload ------------------------------------------------
+    async def _run(self, fn, *args, tenant: TenantConfig | None = None):
+        """Run blocking ``fn`` on the bounded executor.
+
+        The tenant is bound to the worker thread for the duration so
+        the SimClock listener can attribute charges; the semaphore
+        bounds queued work without ever blocking the event loop.
+        """
+        if self._closed:
+            raise RestorationError("data node is closed")
+
+        def _bound():
+            self._tls.tenant = tenant
+            try:
+                return fn(*args)
+            finally:
+                self._tls.tenant = None
+
+        loop = asyncio.get_running_loop()
+        async with self._slots:
+            return await loop.run_in_executor(self._executor, _bound)
+
+    # -- campaign lifecycle --------------------------------------------
+    def _handle(self, name: str) -> CampaignHandle:
+        # Session.open caches handles; serialize so concurrent first
+        # opens of one campaign create a single handle. A missing
+        # catalog surfaces as StorageError (503); to a service client
+        # an unknown campaign is a 404, so narrow it here.
+        with self._open_lock:
+            if name in self.session.campaigns:
+                return self.session.open(name)
+            try:
+                return self.session.open(name)
+            except StorageError as exc:
+                raise VariableNotFoundError(
+                    f"campaign {name!r} not found: {exc}"
+                ) from exc
+
+    async def open_campaign(
+        self, name: str, *, tenant: TenantConfig | None = None
+    ) -> dict:
+        """Open (idempotent) and describe one campaign."""
+        def _open() -> dict:
+            return self._handle(name).describe()
+
+        return await self._run(_open, tenant=tenant)
+
+    # -- cursors --------------------------------------------------------
+    @staticmethod
+    def cursor_for(
+        handle: CampaignHandle,
+        var: str,
+        level: int,
+        *,
+        region=None,
+        min_significance: float = 0.0,
+    ) -> str:
+        fp = handle.fingerprint[:12]
+        digest = _filter_digest(region, min_significance)
+        return f"{fp}.{var}.L{int(level)}.{digest}"
+
+    @staticmethod
+    def check_cursor(handle: CampaignHandle, cursor: str | None) -> None:
+        """409 when a client cursor references different dataset bytes."""
+        if not cursor:
+            return
+        fp = cursor.split(".", 1)[0]
+        if fp != handle.fingerprint[: len(fp)] or not fp:
+            raise ConflictError(
+                f"cursor {cursor!r} does not match campaign content "
+                f"{handle.fingerprint[:12]!r}; re-open the campaign"
+            )
+
+    # -- reads ----------------------------------------------------------
+    async def restore(
+        self,
+        name: str,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region=None,
+        min_significance: float = 0.0,
+        cursor: str | None = None,
+        if_none_match: str | None = None,
+        tenant: TenantConfig | None = None,
+    ) -> RestoreResult:
+        """Restore near the bytes; returns field + cursor + hit flag.
+
+        ``if_none_match`` short-circuits level-mode requests: when the
+        client already holds the cursor of the exact result, no field
+        is restored or shipped (the service node answers 304 with
+        ``state=None``).
+        """
+
+        def _restore() -> RestoreResult:
+            handle = self._handle(name)
+            self.check_cursor(handle, cursor)
+            self.check_cursor(handle, if_none_match)
+            cache_hit = False
+            if tolerance is None and level is not None:
+                expected = self.cursor_for(
+                    handle, var, int(level),
+                    region=region, min_significance=min_significance,
+                )
+                if if_none_match and if_none_match == expected:
+                    return RestoreResult(None, expected, True)
+                cache = get_restored_cache()
+                cache_hit = cache.has(
+                    cache.key_for(
+                        handle.dataset, var, int(level),
+                        region=region, min_significance=min_significance,
+                    )
+                )
+            with trace.span(
+                "service.restore", "restore",
+                {"campaign": name, "var": var,
+                 "tenant": tenant.name if tenant else ""},
+            ):
+                state = handle.restore(
+                    var,
+                    level=level,
+                    tolerance=tolerance,
+                    region=region,
+                    min_significance=min_significance,
+                )
+            out_cursor = self.cursor_for(
+                handle, var, state.level,
+                region=region, min_significance=min_significance,
+            )
+            if if_none_match and if_none_match == out_cursor:
+                return RestoreResult(None, out_cursor, cache_hit)
+            return RestoreResult(state, out_cursor, cache_hit)
+
+        return await self._run(_restore, tenant=tenant)
+
+    async def stats(
+        self,
+        name: str,
+        var: str | None = None,
+        *,
+        level: int | None = None,
+        tenant: TenantConfig | None = None,
+    ) -> list[dict]:
+        def _stats() -> list[dict]:
+            return self._handle(name).stats(var, level=level)
+
+        return await self._run(_stats, tenant=tenant)
+
+    async def read_raw(
+        self,
+        name: str,
+        key: str,
+        *,
+        start: int = 0,
+        length: int | None = None,
+        tenant: TenantConfig | None = None,
+    ) -> tuple[bytes, dict]:
+        """Range-read one stored product; returns (bytes, record meta)."""
+
+        def _read() -> tuple[bytes, dict]:
+            handle = self._handle(name)
+            rec = handle.inq(key)
+            blob = handle.read_raw(key, start=start, length=length)
+            meta = {
+                "key": rec.key,
+                "kind": rec.kind,
+                "level": rec.level,
+                "codec": rec.codec,
+                "tier": rec.tier,
+                "total_bytes": rec.length,
+                "start": start,
+                "bytes": len(blob),
+            }
+            return blob, meta
+
+        return await self._run(_read, tenant=tenant)
+
+    # -- reporting ------------------------------------------------------
+    def metrics(self) -> dict:
+        """Aggregate data-node view for the /v1/metrics endpoint."""
+        cache = get_restored_cache()
+        return {
+            "campaigns": self.session.campaigns,
+            "engine": self.session.stats(),
+            "restored_cache": cache.stats(),
+            "executor": {
+                "workers": self.executor_workers,
+                "queued_slots_free": getattr(self._slots, "_value", None),
+            },
+            "sim_clock_elapsed": self.hierarchy.clock.elapsed,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.hierarchy.clock.remove_listener(self._clock_listener)
+        self._executor.shutdown(wait=True)
+        self.session.close()

@@ -1,0 +1,261 @@
+"""Load harness: hundreds of concurrent simulated clients.
+
+Drives a running :class:`~repro.service.servicenode.CanopusService`
+with ``clients`` concurrent :class:`~repro.service.client.ServiceClient`
+tasks, each issuing a deterministic round-robin mix of restore requests
+over ``(variable, level)`` pairs, optionally verifying every payload
+bit-for-bit against reference fields. The serial baseline
+(:func:`serial_baseline`) issues the same mix one-request-at-a-time on
+one connection — the "every consumer links the library and waits its
+turn" world the service replaces — so
+``concurrent.rps / serial.rps`` is the elasticity headline
+(``benchmarks/test_service_load.py`` asserts it and records
+``BENCH_service.json``).
+
+:class:`ServiceThread` hosts the service on a dedicated thread + event
+loop so harness clients and service handlers run on different OS
+threads, the same separation a real deployment has.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.servicenode import CanopusService
+
+__all__ = ["LoadReport", "ServiceThread", "run_load", "serial_baseline"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load run."""
+
+    clients: int
+    requests: int = 0
+    failures: int = 0
+    mismatches: int = 0
+    bytes_served: int = 0
+    wall_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def mbps(self) -> float:
+        if not self.wall_seconds:
+            return 0.0
+        return self.bytes_served / self.wall_seconds / 1e6
+
+    def latency_summary(self) -> dict:
+        if not self.latencies:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        arr = np.sort(np.asarray(self.latencies))
+        return {
+            "mean": float(arr.mean()),
+            "p50": float(arr[int(0.50 * (len(arr) - 1))]),
+            "p95": float(arr[int(0.95 * (len(arr) - 1))]),
+            "max": float(arr[-1]),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "failures": self.failures,
+            "mismatches": self.mismatches,
+            "bytes_served": self.bytes_served,
+            "wall_seconds": self.wall_seconds,
+            "rps": self.rps,
+            "mbps": self.mbps,
+            "latency": self.latency_summary(),
+        }
+
+
+def _mix(
+    variables: list[str], levels: list[int], client_index: int, i: int
+) -> tuple[str, int]:
+    """Deterministic (var, level) pick for request ``i`` of one client."""
+    n = client_index + i
+    return variables[n % len(variables)], levels[n % len(levels)]
+
+
+async def _client_task(
+    host: str,
+    port: int,
+    token: str,
+    campaign: str,
+    variables: list[str],
+    levels: list[int],
+    client_index: int,
+    requests: int,
+    expected: dict[tuple[str, int], np.ndarray] | None,
+    report: LoadReport,
+    lock: asyncio.Lock,
+) -> None:
+    client = ServiceClient(host, port, token=token)
+    try:
+        for i in range(requests):
+            var, level = _mix(variables, levels, client_index, i)
+            t0 = time.perf_counter()
+            try:
+                fieldvals, meta = await client.restore(
+                    campaign, var, level=level
+                )
+            except Exception:
+                async with lock:
+                    report.failures += 1
+                continue
+            dt = time.perf_counter() - t0
+            ok = True
+            if expected is not None:
+                ref = expected.get((var, level))
+                ok = ref is not None and np.array_equal(
+                    np.asarray(fieldvals), ref
+                )
+            async with lock:
+                report.requests += 1
+                report.bytes_served += meta["bytes"]
+                report.latencies.append(dt)
+                if not ok:
+                    report.mismatches += 1
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    campaign: str,
+    variables,
+    *,
+    clients: int,
+    requests_per_client: int,
+    levels=(0,),
+    token: str = "",
+    expected: dict[tuple[str, int], np.ndarray] | None = None,
+) -> LoadReport:
+    """Drive ``clients`` concurrent clients; returns the aggregate."""
+    variables = list(variables)
+    levels = [int(lv) for lv in levels]
+    if not variables or clients < 1 or requests_per_client < 1:
+        raise ServiceError("run_load needs variables, clients, requests >= 1")
+    report = LoadReport(clients=clients)
+    lock = asyncio.Lock()
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_task(
+                host, port, token, campaign, variables, levels,
+                ci, requests_per_client, expected, report, lock,
+            )
+            for ci in range(clients)
+        )
+    )
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+async def serial_baseline(
+    host: str,
+    port: int,
+    campaign: str,
+    variables,
+    *,
+    requests: int,
+    levels=(0,),
+    token: str = "",
+    expected: dict[tuple[str, int], np.ndarray] | None = None,
+) -> LoadReport:
+    """One connection, one request at a time — the pre-service world."""
+    report = LoadReport(clients=1)
+    lock = asyncio.Lock()
+    t0 = time.perf_counter()
+    await _client_task(
+        host, port, token, campaign, list(variables),
+        [int(lv) for lv in levels], 0, requests, expected, report, lock,
+    )
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+class ServiceThread:
+    """Host a :class:`CanopusService` on its own thread + event loop.
+
+    The pattern every test/benchmark needs: start, learn the bound
+    port, hammer it from the caller's own loop, stop. ``stop()`` joins
+    the thread after the service has fully shut down.
+    """
+
+    def __init__(self, service: CanopusService) -> None:
+        self.service = service
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        if self._thread is not None:
+            raise ServiceError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServiceError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self.service.host, self.service.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            self._shutdown = asyncio.Event()
+            try:
+                # start_server begins accepting immediately; no
+                # serve_forever needed.
+                await self.service.start()
+            except BaseException as exc:  # noqa: BLE001 — report to starter
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self._shutdown.wait()
+            await self.service.stop()
+
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if self._shutdown is not None:
+            loop.call_soon_threadsafe(self._shutdown.set)
+        thread.join(timeout)
+        self._loop = None
+        self._thread = None
+        self._shutdown = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

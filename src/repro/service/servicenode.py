@@ -1,0 +1,401 @@
+"""Service node: stateless HTTP handlers in front of the data node.
+
+Everything here is per-request and touches no storage: parse, resolve
+the tenant (bearer token), admit against quotas, route, then assemble
+the response from whatever the :class:`~repro.service.datanode.DataNode`
+returns. Library errors translate 1:1 to wire responses through the
+stable code → status map in :mod:`repro.errors`; every response body
+for an error is ``{"error": ..., "code": ...}``.
+
+Endpoints (all under ``/v1`` except the health probe):
+
+====================================================  ======================
+``GET  /healthz``                                     liveness (no auth)
+``POST /v1/campaigns/{name}/open``                    open + describe
+``GET  /v1/campaigns/{name}``                         describe (idempotent)
+``GET  .../vars/{var}/restore?level=|tolerance=``     restore (npy body)
+``GET  .../vars/{var}/stats?level=``                  per-chunk summaries
+``GET  .../raw/{key}?start=&length=``                 ranged raw product
+``GET  /v1/metrics``                                  obs + tenant usage
+====================================================  ======================
+
+Restore responses carry ``ETag``/``X-Canopus-Cursor`` (the resumable
+delta cursor), ``X-Canopus-Level``, shape/dtype, and the delta-RMS of
+the last applied refinement; ``If-None-Match`` with the cursor of the
+requested state short-circuits to 304 with no body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import numpy as np
+
+from repro.errors import (
+    QuotaError,
+    ReproError,
+    RestorationError,
+    ServiceError,
+    error_code,
+    http_status,
+)
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.service.datanode import DataNode
+from repro.service.http import Request, Response, read_request
+from repro.service.tenants import TenantConfig, TenantRegistry
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = ["CanopusService", "ServiceNode"]
+
+NPY_CONTENT_TYPE = "application/x-npy"
+
+
+def _parse_float(query: dict, name: str) -> float | None:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise RestorationError(f"query param {name!r} must be a number")
+
+
+def _parse_int(query: dict, name: str) -> int | None:
+    raw = query.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise RestorationError(f"query param {name!r} must be an integer")
+
+
+def _parse_region(query: dict) -> tuple[np.ndarray, np.ndarray] | None:
+    """``region=x0,y0:x1,y1`` → (lo, hi) float arrays."""
+    raw = query.get("region")
+    if raw is None or raw == "":
+        return None
+    lo_s, sep, hi_s = raw.partition(":")
+    if not sep:
+        raise RestorationError(
+            "region must be 'lo0,lo1,...:hi0,hi1,...'"
+        )
+    try:
+        lo = np.array([float(v) for v in lo_s.split(",")])
+        hi = np.array([float(v) for v in hi_s.split(",")])
+    except ValueError:
+        raise RestorationError("region coordinates must be numbers")
+    if lo.shape != hi.shape or lo.size == 0:
+        raise RestorationError("region lo/hi must have the same length")
+    return lo, hi
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
+    return buf.getvalue()
+
+
+class ServiceNode:
+    """Stateless request handling over one data node."""
+
+    def __init__(
+        self,
+        datanode: DataNode,
+        tenants: TenantRegistry,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.datanode = datanode
+        self.tenants = tenants
+        self.metrics = metrics if metrics is not None else get_registry()
+
+    # -- dispatch -------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        """Route one request; never raises (errors become responses)."""
+        try:
+            response = await self._dispatch(request)
+        except QuotaError as exc:
+            response = Response.json(
+                {"error": str(exc), "code": exc.code},
+                status=http_status(exc),
+                headers={"retry-after": f"{exc.retry_after:.3f}"},
+            )
+        except ReproError as exc:
+            response = Response.json(
+                {"error": str(exc), "code": error_code(exc)},
+                status=http_status(exc),
+            )
+        except Exception as exc:  # noqa: BLE001 — the wire must answer
+            response = Response.json(
+                {"error": f"{type(exc).__name__}: {exc}", "code": "internal"},
+                status=500,
+            )
+        self.metrics.counter(
+            "service.responses", status=str(response.status)
+        ).inc()
+        return response
+
+    async def _dispatch(self, request: Request) -> Response:
+        if request.path == "/healthz":
+            return Response.json({"ok": True})
+        tenant = self.tenants.authenticate(request.header("authorization"))
+        self.tenants.admit(tenant)
+        try:
+            with trace.span(
+                "service.request", "service",
+                {"path": request.path, "tenant": tenant.name},
+            ):
+                response = await self._route(request, tenant)
+            self.tenants.charge_bytes(tenant, len(response.body))
+            return response
+        finally:
+            self.tenants.release(tenant)
+
+    async def _route(self, request: Request, tenant: TenantConfig) -> Response:
+        parts = [p for p in request.path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            return self._not_found(request)
+        if parts[1:] == ["metrics"] and request.method == "GET":
+            return self._metrics()
+        if len(parts) >= 3 and parts[1] == "campaigns":
+            name = parts[2]
+            rest = parts[3:]
+            if rest == ["open"] and request.method == "POST":
+                return await self._open(name, tenant)
+            if not rest and request.method == "GET":
+                return await self._open(name, tenant)
+            if (
+                len(rest) == 3
+                and rest[0] == "vars"
+                and rest[2] == "restore"
+                and request.method == "GET"
+            ):
+                return await self._restore(request, name, rest[1], tenant)
+            if (
+                len(rest) == 3
+                and rest[0] == "vars"
+                and rest[2] == "stats"
+                and request.method == "GET"
+            ):
+                return await self._stats(request, name, rest[1], tenant)
+            if len(rest) >= 2 and rest[0] == "raw" and request.method == "GET":
+                key = "/".join(rest[1:])
+                return await self._raw(request, name, key, tenant)
+        return self._not_found(request)
+
+    @staticmethod
+    def _not_found(request: Request) -> Response:
+        return Response.json(
+            {
+                "error": f"no route for {request.method} {request.path}",
+                "code": "not-found",
+            },
+            status=404,
+        )
+
+    # -- handlers -------------------------------------------------------
+    async def _open(self, name: str, tenant: TenantConfig) -> Response:
+        info = await self.datanode.open_campaign(name, tenant=tenant)
+        return Response.json(info)
+
+    async def _restore(
+        self, request: Request, name: str, var: str, tenant: TenantConfig
+    ) -> Response:
+        level = _parse_int(request.query, "level")
+        tolerance = _parse_float(request.query, "tolerance")
+        min_significance = _parse_float(request.query, "min_significance") or 0.0
+        region = _parse_region(request.query)
+        cursor = request.query.get("cursor") or None
+        if_none_match = (
+            request.header("if-none-match", "") or ""
+        ).strip('"') or None
+        result = await self.datanode.restore(
+            name,
+            var,
+            level=level,
+            tolerance=tolerance,
+            region=region,
+            min_significance=min_significance,
+            cursor=cursor,
+            if_none_match=if_none_match,
+            tenant=tenant,
+        )
+        cache_header = "hit" if result.cache_hit else "miss"
+        self.metrics.counter(
+            f"service.cache.{'hits' if result.cache_hit else 'misses'}",
+            tenant=tenant.name,
+        ).inc()
+        common = {
+            "etag": f'"{result.cursor}"',
+            "x-canopus-cursor": result.cursor,
+            "x-canopus-cache": cache_header,
+        }
+        if result.state is None:
+            return Response(status=304, headers=common)
+        state = result.state
+        body = _npy_bytes(state.field)
+        rms = state.last_delta_rms
+        headers = {
+            **common,
+            "x-canopus-level": str(state.level),
+            "x-canopus-shape": ",".join(str(n) for n in state.field.shape),
+            "x-canopus-dtype": str(state.field.dtype),
+            "x-canopus-rms": repr(float(rms)),
+            "x-canopus-vertices": str(state.mesh.num_vertices),
+        }
+        return Response.binary(
+            body, content_type=NPY_CONTENT_TYPE, headers=headers
+        )
+
+    async def _stats(
+        self, request: Request, name: str, var: str, tenant: TenantConfig
+    ) -> Response:
+        level = _parse_int(request.query, "level")
+        rows = await self.datanode.stats(
+            name, var, level=level, tenant=tenant
+        )
+        return Response.json({"campaign": name, "var": var, "chunks": rows})
+
+    async def _raw(
+        self, request: Request, name: str, key: str, tenant: TenantConfig
+    ) -> Response:
+        start = _parse_int(request.query, "start") or 0
+        length = _parse_int(request.query, "length")
+        blob, meta = await self.datanode.read_raw(
+            name, key, start=start, length=length, tenant=tenant
+        )
+        headers = {
+            f"x-canopus-{k.replace('_', '-')}": str(v)
+            for k, v in meta.items()
+        }
+        return Response.binary(blob, headers=headers)
+
+    def _metrics(self) -> Response:
+        return Response.json(
+            {
+                "service": self.metrics.prefix_snapshot("service"),
+                "metrics": self.metrics.snapshot(),
+                "tenants": self.tenants.usage(),
+                "datanode": self.datanode.metrics(),
+            }
+        )
+
+
+class CanopusService:
+    """The deployable unit: asyncio server + service node + data node.
+
+    One process serves one storage hierarchy. ``tenants`` may be a
+    :class:`TenantRegistry`, a list of :class:`TenantConfig`, or
+    ``None`` for open access (single anonymous tenant, no budgets —
+    development only).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        *,
+        tenants: TenantRegistry | list[TenantConfig] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        executor_workers: int = 8,
+        cache_bytes: int = 64 << 20,
+        verify_checksums: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if isinstance(tenants, TenantRegistry):
+            registry = tenants
+        elif tenants is None:
+            registry = TenantRegistry.open_access(metrics=metrics)
+        else:
+            registry = TenantRegistry(list(tenants), metrics=metrics)
+        self.tenants = registry
+        self.host = host
+        self.port = port
+        self.datanode = DataNode(
+            hierarchy,
+            tenants=registry,
+            workers=workers,
+            executor_workers=executor_workers,
+            cache_bytes=cache_bytes,
+            verify_checksums=verify_checksums,
+        )
+        self.node = ServiceNode(self.datanode, registry, metrics=metrics)
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- connection plumbing -------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ServiceError as exc:
+                    writer.write(
+                        Response.json(
+                            {"error": str(exc), "code": exc.code},
+                            status=400,
+                        ).render(keep_alive=False)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.node.handle(request)
+                keep = (
+                    request.header("connection", "keep-alive").lower()
+                    != "close"
+                )
+                writer.write(response.render(keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away mid-frame; nothing to assemble
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise ServiceError("service already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Executor shutdown waits for in-flight decodes; keep the loop
+        # responsive by doing the wait off-loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.datanode.close
+        )
+
+    async def __aenter__(self) -> "CanopusService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

@@ -1,0 +1,315 @@
+"""Session-oriented read API: open once, then restore by name.
+
+The PR 1 façade asked callers to juggle ``open_dataset`` +
+``CanopusDecoder`` + ``ProgressiveReader`` per read; this module is the
+object surface both in-process analytics and the HTTP read tier
+(:mod:`repro.service`) now share:
+
+.. code-block:: python
+
+    from repro.api import Session
+
+    with Session(hierarchy) as session:
+        campaign = session.open("fig9-multi")
+        state = campaign.restore("dpot", level=0)
+        coarse = campaign.restore("dpot", tolerance=1e-3)
+        fields = campaign.restore_many(["dpot", "apar"], level=1)
+        chunk_stats = campaign.stats("dpot", level=1)
+
+A :class:`Session` owns retrieval configuration (engine width, range
+cache budget, checksum policy) and caches one :class:`CampaignHandle`
+per dataset name. Each handle wraps an open
+:class:`~repro.io.dataset.BPDataset` plus a
+:class:`~repro.core.decode_engine.DecodeEngine`, so every restore gets
+the engine's prefetch pipeline and the process-wide
+restored-level/geometry caches — two sessions (or two service tenants)
+restoring the same content share one cache entry because keys are
+content-fingerprint based, never handle identity.
+
+All entry points beyond the positional name/variable are keyword-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.decode_engine import DecodeEngine
+from repro.core.decoder import LevelData
+from repro.core.notation import LevelScheme
+from repro.core.progressive import ProgressiveReader
+from repro.core.restored_cache import dataset_fingerprint
+from repro.errors import RestorationError, VariableNotFoundError
+from repro.io.dataset import BPDataset
+from repro.storage.hierarchy import StorageHierarchy
+
+__all__ = ["CampaignHandle", "Session"]
+
+
+class Session:
+    """One configured connection to a storage hierarchy (read side).
+
+    Parameters (all keyword-only) configure every dataset the session
+    opens: ``workers`` (engine + decode fan-out width), ``cache_bytes``
+    (per-dataset range-cache budget), ``verify_checksums``,
+    ``use_restored_cache`` (consult/publish the process-wide restored
+    cache), ``pipeline``/``lookahead`` (prefetch pipelining), and
+    ``transports`` (tier-name → transport override).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        *,
+        workers: int = 4,
+        cache_bytes: int = 64 << 20,
+        verify_checksums: bool = True,
+        use_restored_cache: bool = True,
+        pipeline: bool = True,
+        lookahead: int = 2,
+        transports=None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.workers = int(workers)
+        self.cache_bytes = int(cache_bytes)
+        self.verify_checksums = verify_checksums
+        self.use_restored_cache = use_restored_cache
+        self.pipeline = pipeline
+        self.lookahead = lookahead
+        self.transports = transports
+        self._handles: dict[str, CampaignHandle] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def open(self, name: str) -> "CampaignHandle":
+        """Open (or return the already-open handle to) one dataset."""
+        if self._closed:
+            raise RestorationError("session is closed")
+        handle = self._handles.get(name)
+        if handle is None:
+            dataset = BPDataset.open(
+                name,
+                self.hierarchy,
+                transports=self.transports,
+                verify_checksums=self.verify_checksums,
+                cache_bytes=self.cache_bytes,
+                workers=self.workers,
+            )
+            handle = CampaignHandle(self, name, dataset)
+            self._handles[name] = handle
+        return handle
+
+    @property
+    def campaigns(self) -> list[str]:
+        """Names of the datasets this session has open."""
+        return sorted(self._handles)
+
+    def stats(self) -> dict:
+        """Aggregated engine/cache counters across open handles."""
+        return {
+            name: handle.dataset.engine_stats().snapshot()
+            for name, handle in sorted(self._handles.items())
+        }
+
+    def close(self) -> None:
+        """Close every open handle (idempotent)."""
+        for handle in self._handles.values():
+            handle.dataset.close()
+        self._handles.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CampaignHandle:
+    """Read handle to one open campaign/dataset.
+
+    Produced by :meth:`Session.open`; do not construct directly. All
+    retrieval methods are keyword-only past the variable name and are
+    safe to call from multiple threads (the service's executor does).
+    """
+
+    def __init__(
+        self, session: Session, name: str, dataset: BPDataset
+    ) -> None:
+        self.session = session
+        self.name = name
+        self.dataset = dataset
+        self.engine = DecodeEngine(
+            dataset,
+            workers=session.workers,
+            use_restored_cache=session.use_restored_cache,
+            pipeline=session.pipeline,
+            lookahead=session.lookahead,
+        )
+
+    # -- metadata -------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the open catalog (cache/ETag identity)."""
+        return dataset_fingerprint(self.dataset)
+
+    def variables(self) -> list[str]:
+        return self.engine.variables()
+
+    def scheme(self, var: str) -> LevelScheme:
+        self._require_var(var)
+        return self.engine.decoder.scheme(var)
+
+    def keys(self) -> list[str]:
+        return self.dataset.keys()
+
+    def inq(self, key: str):
+        return self.dataset.inq(key)
+
+    def describe(self) -> dict:
+        """JSON-ready campaign summary (the service's "open" payload)."""
+        variables = {}
+        for var in self.variables():
+            scheme = self.scheme(var)
+            variables[var] = {
+                "num_levels": scheme.num_levels,
+                "base_level": scheme.base_level,
+            }
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "variables": variables,
+            "keys": len(self.dataset.catalog.records),
+        }
+
+    def _require_var(self, var: str) -> None:
+        meta = self.dataset.catalog.attrs.get("variables", {})
+        if var not in meta:
+            raise VariableNotFoundError(
+                f"variable {var!r} not in dataset {self.name!r}; "
+                f"has {sorted(meta)}"
+            )
+
+    # -- retrieval ------------------------------------------------------
+    def restore(
+        self,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> LevelData:
+        """Restore one variable by level or by accuracy.
+
+        Exactly one of ``level``/``tolerance`` may be given (neither
+        means full accuracy, level 0). ``tolerance`` refines
+        progressively until the applied delta's RMS drops below it —
+        the accuracy-aware endpoint of the progressive-retrieval
+        framework: only the components the requested accuracy needs are
+        fetched. ``region``/``min_significance`` select focused /
+        bounded-lossy retrieval and compose with both modes.
+        """
+        self._require_var(var)
+        if level is not None and tolerance is not None:
+            raise RestorationError(
+                "restore takes level or tolerance, not both"
+            )
+        if tolerance is not None:
+            if tolerance < 0:
+                raise RestorationError("tolerance must be >= 0")
+            reader = ProgressiveReader(
+                self.engine.decoder,
+                var,
+                pipeline=self.session.pipeline,
+                lookahead=self.session.lookahead,
+                min_significance=min_significance,
+            )
+            return reader.refine_until(
+                rms_tolerance=tolerance, max_level=0, region=region
+            )
+        return self.engine.restore(
+            var,
+            0 if level is None else int(level),
+            region=region,
+            min_significance=min_significance,
+        )
+
+    def restore_many(
+        self,
+        variables: Iterable[str],
+        *,
+        level: int = 0,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ) -> dict[str, LevelData]:
+        """Concurrent multi-variable restore (``{var: LevelData}``)."""
+        variables = list(variables)
+        for var in variables:
+            self._require_var(var)
+        return self.engine.restore_many(
+            variables, level, region=region, min_significance=min_significance
+        )
+
+    # -- near-data summaries -------------------------------------------
+    def stats(
+        self, var: str | None = None, *, level: int | None = None
+    ) -> list[dict]:
+        """Per-chunk summary statistics straight from the catalog.
+
+        Returns one row per stored product carrying encoder-recorded
+        value stats (min/max/|max|) — the OASIS-style pushdown surface:
+        predicates evaluate against these without restoring any field.
+        """
+        if var is not None:
+            self._require_var(var)
+        rows = []
+        for key in self.dataset.keys():
+            rec = self.dataset.inq(key)
+            if var is not None and not (
+                rec.key == var or rec.key.startswith(f"{var}/")
+            ):
+                continue
+            if level is not None and rec.level != level:
+                continue
+            stats = rec.attrs.get("stats")
+            if stats is None:
+                continue
+            rows.append(
+                {
+                    "key": rec.key,
+                    "kind": rec.kind,
+                    "level": rec.level,
+                    "bytes": rec.length,
+                    "stats": dict(stats),
+                }
+            )
+        return rows
+
+    # -- raw bytes ------------------------------------------------------
+    def read_raw(
+        self, key: str, *, start: int = 0, length: int | None = None
+    ) -> bytes:
+        """Range-read one stored product's (compressed) bytes.
+
+        ``start``/``length`` select a sub-range of the payload (the
+        delta-download endpoint); the full payload still flows through
+        the retrieval engine, so repeated ranged reads of one product
+        hit the range cache instead of the tier.
+        """
+        rec = self.dataset.inq(key)
+        if start < 0 or start > rec.length:
+            raise RestorationError(
+                f"range start {start} outside [0, {rec.length}]"
+            )
+        blob = self.dataset.read(key)
+        if length is None:
+            return blob[start:]
+        if length < 0:
+            raise RestorationError("range length must be >= 0")
+        return blob[start : start + length]
+
+    def close(self) -> None:
+        self.dataset.close()
+        self.session._handles.pop(self.name, None)

@@ -21,8 +21,20 @@ measures
 Every concurrent payload is verified bit-for-bit against a direct
 in-process :class:`DecodeEngine` restore, and the aggregate concurrent
 throughput must be ≥3× the serial library baseline. The structured
-result (all reports + per-tenant ``repro.obs`` counters) lands in
+result (all reports, p50/p95/p99 latency via the obs bucketed
+histograms, per-tenant ``repro.obs`` counters) lands in
 ``benchmarks/results/BENCH_service.json``.
+
+A second, *traced* pass re-runs the same concurrent mix against a
+fresh service with ``tracing=True`` and ``sample_rate=1.0`` (the
+headline numbers above stay untraced — the disabled-tracing fast path
+is the thing being benchmarked). Its assertions are the PR's
+end-to-end attribution acceptance: every kept request is a single
+span tree rooted on the service loop and spanning data-node/engine
+threads, and the per-request SimClock read-seconds sum (within
+rounding) to the per-tenant ``service.sim_read_seconds`` counters.
+The slowest request's span tree is exported as a Chrome/Perfetto
+trace (``results/trace_sample.json``) for the CI artifact.
 """
 
 from __future__ import annotations
@@ -40,8 +52,9 @@ from repro.harness.experiment import stack_planes
 from repro.harness.report import write_json_report
 from repro.io import BPDataset
 from repro.obs import get_registry
+from repro.obs.sinks import write_chrome_trace
 from repro.service import CanopusService, TenantConfig
-from repro.service.loadgen import ServiceThread, run_load, serial_baseline
+from repro.service.loadgen import LoadReport, ServiceThread, run_load, serial_baseline
 from repro.session import Session
 from repro.simulations import make_xgc1
 from repro.storage import two_tier_titan
@@ -93,6 +106,23 @@ def _serial_library_baseline(
         "mismatches": mismatches,
         "wall_seconds": wall,
         "rps": requests / wall if wall else 0.0,
+    }
+
+
+def _traced_metrics(load_results) -> dict:
+    """JSON-ready summary of the traced pass for BENCH_service.json."""
+    traces = load_results["traced_traces"]
+    usage = load_results["traced_usage"]
+    return {
+        "requests": sum(r.requests for r in load_results["traced_reports"]),
+        "failures": sum(r.failures for r in load_results["traced_reports"]),
+        "kept_traces": len(traces),
+        "buffer": load_results["traced_stats"],
+        "trace_sim_read_seconds": sum(t.sim_read_seconds for t in traces),
+        "tenant_sim_read_seconds": sum(
+            u["total_sim_read_seconds"] for u in usage.values()
+        ),
+        "threads": sorted({s.thread for t in traces for s in t.spans}),
     }
 
 
@@ -190,12 +220,59 @@ def load_results(tmp_path_factory):
     get_restored_cache().clear()
     get_geometry_cache().clear()
 
+    # -- traced pass: same mix, tracing on, every request kept ----------
+    # Fresh hierarchy + tenants so counters start from zero, cold
+    # process caches so the run actually charges simulated reads.
+    traced_tenants = [
+        TenantConfig(name=t.name, token=t.token) for t in TENANTS
+    ]
+    traced_service = CanopusService(
+        two_tier_titan(root, fast_capacity=256 << 20, slow_capacity=1 << 38),
+        tenants=traced_tenants,
+        workers=4,
+        executor_workers=8,
+        tracing=True,
+        trace_capacity=8192,
+        trace_sample_rate=1.0,
+    )
+
+    async def _traced(host: str, port: int):
+        per_tenant = max(1, CLIENTS // len(TENANTS))
+        return await asyncio.gather(*(
+            run_load(
+                host, port, "fig9-multi", VARIABLES,
+                clients=per_tenant, requests_per_client=REQUESTS_PER_CLIENT,
+                levels=REQUEST_LEVELS, token=t.token, expected=expected,
+            )
+            for t in traced_tenants
+        ))
+
+    with ServiceThread(traced_service):
+        traced_reports = asyncio.run(
+            _traced(traced_service.host, traced_service.port)
+        )
+        buffer = traced_service.trace_buffer
+        traced_traces = buffer.list(limit=100000)
+        traced_stats = buffer.stats()
+        traced_usage = traced_service.tenants.usage()
+        slowest = buffer.slowest(1)
+        if slowest:
+            write_chrome_trace(
+                RESULTS_DIR / "trace_sample.json", slowest[0].spans
+            )
+
+    get_restored_cache().clear()
+    get_geometry_cache().clear()
+
     total_requests = sum(r.requests for r in reports)
     total_failures = sum(r.failures for r in reports)
     total_mismatches = sum(r.mismatches for r in reports)
     total_bytes = sum(r.bytes_served for r in reports)
     wall = max(r.wall_seconds for r in reports)
     concurrent_rps = total_requests / wall if wall else 0.0
+    merged = LoadReport(clients=len(TENANTS) * max(1, CLIENTS // len(TENANTS)))
+    for r in reports:
+        merged.latencies.extend(r.latencies)
 
     return {
         "warm": warm,
@@ -209,10 +286,15 @@ def load_results(tmp_path_factory):
         "total_bytes": total_bytes,
         "wall_seconds": wall,
         "concurrent_rps": concurrent_rps,
+        "latency": merged.latency_summary(),
         "tenant_usage": tenant_usage,
         "obs_snapshot": obs_snapshot,
         "datanode_metrics": datanode_metrics,
         "vertices": src.mesh.num_vertices,
+        "traced_reports": traced_reports,
+        "traced_traces": traced_traces,
+        "traced_stats": traced_stats,
+        "traced_usage": traced_usage,
     }
 
 
@@ -289,8 +371,10 @@ def test_load_and_report(load_results, record_result):
                 "bytes_served": load_results["total_bytes"],
                 "wall_seconds": load_results["wall_seconds"],
                 "rps": load_results["concurrent_rps"],
+                "latency": load_results["latency"],
                 "per_tenant": [r.to_dict() for r in load_results["reports"]],
             },
+            "traced": _traced_metrics(load_results),
             "throughput_speedup": speedup,
             "min_speedup_required": MIN_SPEEDUP,
             "tenant_usage": load_results["tenant_usage"],
@@ -325,3 +409,39 @@ def test_per_tenant_metrics_visible(load_results):
         assert usage[tenant.name]["total_requests"] > 0
         assert usage[tenant.name]["total_bytes"] > 0
         assert obs.get(f"service.requests{{tenant={tenant.name}}}", 0) > 0
+
+
+def test_traced_requests_are_single_span_trees(load_results):
+    """Every kept request is one tree spanning service/data/engine threads."""
+    traces = load_results["traced_traces"]
+    stats = load_results["traced_stats"]
+    assert sum(r.failures for r in load_results["traced_reports"]) == 0
+    assert stats["dropped"] == 0  # sample_rate=1.0 keeps everything
+    assert stats["kept"] == stats["finished"]
+    restores = [t for t in traces if t.route.endswith("/restore")]
+    assert restores
+    for t in restores:
+        roots = [s for s in t.spans if s.parent_id is None]
+        assert len(roots) == 1, t.to_summary()
+        assert roots[0].name.startswith("http GET"), roots[0].name
+        assert all(s.trace_id == t.trace_id for s in t.spans)
+    threads = {s.thread for t in restores for s in t.spans}
+    assert any(th.startswith("repro-datanode") for th in threads), threads
+    assert any(
+        th.startswith(("repro-io", "repro-decode", "repro-restore"))
+        for th in threads
+    ), threads
+
+
+def test_traced_sim_read_matches_tenant_counters(load_results):
+    """Per-request SimClock read-seconds sum to the tenant counters."""
+    import math
+
+    traced = _traced_metrics(load_results)
+    assert traced["trace_sim_read_seconds"] > 0
+    assert math.isclose(
+        traced["trace_sim_read_seconds"],
+        traced["tenant_sim_read_seconds"],
+        rel_tol=1e-6,
+        abs_tol=1e-9,
+    ), traced

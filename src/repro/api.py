@@ -59,7 +59,19 @@ from repro.io.dataset import BPDataset
 from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.xmlconfig import parse_config
 from repro.mesh.triangle_mesh import TriangleMesh
-from repro.obs import MetricsRegistry, Tracer, get_registry, trace_session
+from repro.obs import (
+    SLO,
+    JsonlLogger,
+    MetricsRegistry,
+    RequestTrace,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    current_context,
+    get_registry,
+    render_prometheus,
+    trace_session,
+)
 from repro.session import CampaignHandle, Session
 from repro.storage.backend import (
     FilesystemBackend,
@@ -96,6 +108,7 @@ __all__ = [
     "EngineStats",
     "FilesystemBackend",
     "GeometryCache",
+    "JsonlLogger",
     "LevelData",
     "LevelScheme",
     "MemoryBackend",
@@ -107,14 +120,19 @@ __all__ = [
     "ProductSpec",
     "ProgressiveReader",
     "RangeCache",
+    "RequestTrace",
     "RestoredLevelCache",
     "RetrievalEngine",
+    "SLO",
     "ShardedBackend",
     "StepReport",
     "StorageHierarchy",
     "TierManager",
+    "TraceBuffer",
+    "TraceContext",
     "Tracer",
     "TriangleMesh",
+    "current_context",
     "dataset_fingerprint",
     "encode_partitioned",
     "get_geometry_cache",
@@ -122,6 +140,7 @@ __all__ = [
     "get_restored_cache",
     "make_backend",
     "parse_config",
+    "render_prometheus",
     "two_tier_titan",
 ]
 

@@ -149,6 +149,30 @@ def build_parser() -> argparse.ArgumentParser:
         "\"max_requests\":..., \"max_bytes\":..., \"max_inflight\":..., "
         "\"window_seconds\":...}, ...]; omitted = open access (dev only)",
     )
+    srv.add_argument(
+        "--tracing", action="store_true",
+        help="enable request tracing (traceparent, /v1/trace* endpoints)",
+    )
+    srv.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="trace ring-buffer size (kept requests)",
+    )
+    srv.add_argument(
+        "--trace-sample-rate", type=float, default=0.1,
+        help="head-sampling rate; errors and the slow tail are always kept",
+    )
+    srv.add_argument(
+        "--trace-slow-seconds", type=float, default=1.0,
+        help="requests at/above this wall time are always kept",
+    )
+    srv.add_argument(
+        "--access-log", default=None,
+        help="write one JSONL access-log line per request to this file",
+    )
+    srv.add_argument(
+        "--slo-target-seconds", type=float, default=0.5,
+        help="per-route latency SLO target (seconds)",
+    )
     _add_backend_arg(srv)
 
     tr = sub.add_parser(
@@ -172,6 +196,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable I/O/compute overlap in the progressive read",
     )
     _add_backend_arg(tr)
+
+    obs = sub.add_parser(
+        "obs", help="observability utilities over a running service"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    rep = obs_sub.add_parser(
+        "report",
+        help="render the top-N slowest traces + SLO status from a live "
+        "server (--url) or an access-log JSONL file (--jsonl)",
+    )
+    rep.add_argument(
+        "--url", default=None,
+        help="live service base URL, e.g. http://127.0.0.1:8686",
+    )
+    rep.add_argument(
+        "--token", default="", help="bearer token for --url requests"
+    )
+    rep.add_argument(
+        "--jsonl", default=None,
+        help="access-log JSONL file written by 'serve --access-log'",
+    )
+    rep.add_argument(
+        "--top", type=int, default=10, help="how many slow requests to show"
+    )
+    rep.add_argument(
+        "--slo-target", type=float, default=0.5,
+        help="SLO target seconds when computing offline from --jsonl",
+    )
+    rep.add_argument(
+        "--slo-objective", type=float, default=0.95,
+        help="SLO objective fraction for offline burn-rate computation",
+    )
     return parser
 
 
@@ -309,6 +365,7 @@ def _cmd_restore(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.obs.logs import JsonlLogger
     from repro.service import CanopusService, TenantRegistry
 
     hierarchy = _hierarchy(args.root, backend=args.backend)
@@ -323,6 +380,14 @@ def _cmd_serve(args) -> int:
         port=args.port,
         workers=args.workers,
         executor_workers=args.executor_workers,
+        tracing=args.tracing,
+        trace_capacity=args.trace_capacity,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_slow_seconds=args.trace_slow_seconds,
+        slo_target_seconds=args.slo_target_seconds,
+        access_log=(
+            JsonlLogger(args.access_log) if args.access_log else None
+        ),
     )
 
     async def _serve() -> None:
@@ -386,6 +451,144 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _trace_rows(summaries: list[dict], top: int) -> list[dict]:
+    """Table rows for the slowest ``top`` request summaries."""
+    ranked = sorted(
+        summaries, key=lambda t: t.get("wall_seconds", 0.0), reverse=True
+    )
+    return [
+        {
+            "trace_id": t.get("trace_id", "")[:16],
+            "route": t.get("route", ""),
+            "tenant": t.get("tenant", "") or "-",
+            "status": t.get("status", 0),
+            "wall_ms": f"{t.get('wall_seconds', 0.0) * 1e3:.2f}",
+            "sim_read_ms": f"{t.get('sim_read_seconds', 0.0) * 1e3:.3f}",
+            "kept": t.get("kept", "-"),
+        }
+        for t in ranked[: max(0, top)]
+    ]
+
+
+def _report_from_server(args) -> int:
+    import asyncio
+    from urllib.parse import urlsplit
+
+    from repro.service.client import ServiceClient
+
+    split = urlsplit(args.url if "//" in args.url else f"//{args.url}")
+    if not split.hostname or not split.port:
+        raise ReproError(
+            f"--url must include host and port, got {args.url!r}"
+        )
+
+    async def _fetch():
+        client = ServiceClient(
+            split.hostname, split.port, token=args.token or ""
+        )
+        try:
+            traces = await client.traces(limit=max(args.top * 5, 100))
+            metrics = await client.metrics()
+        finally:
+            await client.close()
+        return traces, metrics
+
+    traces, metrics = asyncio.run(_fetch())
+    if not traces.get("tracing"):
+        print("tracing is disabled on this server (serve --tracing)")
+    else:
+        rows = _trace_rows(traces.get("traces", []), args.top)
+        if rows:
+            print(format_table(rows, title=f"slowest requests ({args.url})"))
+        stats = traces.get("stats", {})
+        print(
+            f"trace buffer: {stats.get('kept', 0)} kept / "
+            f"{stats.get('finished', 0)} finished "
+            f"({stats.get('dropped', 0)} dropped by sampling)"
+        )
+    slo_rows = [
+        {
+            "route": route,
+            "target_s": s.get("target_seconds", 0.0),
+            "window": s.get("window_requests", 0),
+            "compliance": f"{s.get('compliance', 1.0):.4f}",
+            "burn_rate": f"{s.get('burn_rate', 0.0):.2f}",
+            "healthy": s.get("healthy", True),
+        }
+        for route, s in sorted(metrics.get("slo", {}).items())
+    ]
+    if slo_rows:
+        print(format_table(slo_rows, title="SLO status (rolling window)"))
+    return 0
+
+
+def _report_from_jsonl(args) -> int:
+    import json
+
+    requests: list[dict] = []
+    with open(args.jsonl, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if rec.get("event") == "service.request":
+                requests.append(rec)
+    if not requests:
+        print(f"no service.request records in {args.jsonl}")
+        return 0
+    rows = _trace_rows(requests, args.top)
+    print(format_table(rows, title=f"slowest requests ({args.jsonl})"))
+    # Offline SLO: recompute per-route compliance from the logged walls.
+    per_route: dict[str, list[dict]] = {}
+    for rec in requests:
+        per_route.setdefault(rec.get("route", "other"), []).append(rec)
+    slo_rows = []
+    for route, recs in sorted(per_route.items()):
+        good = sum(
+            1
+            for r in recs
+            if r.get("status", 0) < 500
+            and r.get("error") is None
+            and r.get("wall_seconds", 0.0) <= args.slo_target
+        )
+        compliance = good / len(recs)
+        burn = (1.0 - compliance) / max(1e-9, 1.0 - args.slo_objective)
+        slo_rows.append(
+            {
+                "route": route,
+                "requests": len(recs),
+                "target_s": args.slo_target,
+                "compliance": f"{compliance:.4f}",
+                "burn_rate": f"{burn:.2f}",
+                "healthy": compliance >= args.slo_objective,
+            }
+        )
+    print(
+        format_table(
+            slo_rows,
+            title=(
+                f"SLO status (offline, target {args.slo_target}s, "
+                f"objective {args.slo_objective:.0%})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command != "report":  # pragma: no cover - argparse guards
+        raise ReproError(f"unknown obs command {args.obs_command!r}")
+    if bool(args.url) == bool(args.jsonl):
+        raise ReproError("obs report needs exactly one of --url or --jsonl")
+    if args.url:
+        return _report_from_server(args)
+    return _report_from_jsonl(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "encode": _cmd_encode,
@@ -394,6 +597,7 @@ _COMMANDS = {
     "restore": _cmd_restore,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "obs": _cmd_obs,
 }
 
 

@@ -47,6 +47,7 @@ from repro.core.restored_cache import (
 )
 from repro.errors import RestorationError
 from repro.io.dataset import BPDataset
+from repro.obs import context as obs_context
 from repro.obs import trace
 
 __all__ = ["DecodeEngine"]
@@ -254,7 +255,9 @@ class DecodeEngine:
                     max_workers=min(self.workers, len(variables)),
                     thread_name_prefix="repro-restore",
                 ) as pool:
-                    results = list(pool.map(_one, variables))
+                    results = list(
+                        pool.map(obs_context.propagate(_one), variables)
+                    )
             else:
                 results = [_one(v) for v in variables]
         return dict(zip(variables, results))

@@ -32,6 +32,7 @@ from repro.errors import RestorationError
 from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
+from repro.obs import context as obs_context
 from repro.obs import trace
 
 __all__ = ["PhaseTimings", "LevelData", "CanopusDecoder"]
@@ -394,7 +395,11 @@ class CanopusDecoder:
                     thread_name_prefix="repro-decode",
                 ) as pool:
                     # list() propagates the first worker exception.
-                    list(pool.map(_decode_chunk, wanted))
+                    list(
+                        pool.map(
+                            obs_context.propagate(_decode_chunk), wanted
+                        )
+                    )
         else:
             for rec in wanted:
                 _decode_chunk(rec)

@@ -35,6 +35,7 @@ from repro.errors import BPFormatError, StorageError
 from repro.io.cache import RangeCache
 from repro.io.metadata import VariableRecord
 from repro.io.transports import Transport
+from repro.obs import context as obs_context
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.hierarchy import StorageHierarchy
@@ -449,8 +450,14 @@ class RetrievalEngine:
         for rec in missing:
             self.stats.record_miss(self._locate(rec), rec.length)
         if len(spans) > 1:
+            # propagate: worker fetches inherit the submitting request's
+            # trace context (no-op outside a request).
             fetched = self._executor().map(
-                lambda s: self._fetch_span(s, verify=verify, prefetched=False),
+                obs_context.propagate(
+                    lambda s: self._fetch_span(
+                        s, verify=verify, prefetched=False
+                    )
+                ),
                 spans,
             )
         else:
@@ -515,9 +522,10 @@ class RetrievalEngine:
             self.stats.record_miss(self._locate(rec), rec.length)
         self.stats.incr("prefetch_issued", len(missing))
         pool = self._executor()
+        fetch = obs_context.propagate(self._fetch_span)
         for span in spans:
             future = pool.submit(
-                self._fetch_span, span, verify=verify, prefetched=True
+                fetch, span, verify=verify, prefetched=True
             )
             for rec in span.records:
                 self._inflight[self._key(rec)] = future

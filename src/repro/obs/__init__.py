@@ -5,11 +5,20 @@ delta encoding, compression, tier placement, and progressive retrieval —
 so this subpackage gives every layer one shared instrumentation
 substrate instead of scattered ad-hoc counters:
 
-* :mod:`repro.obs.trace` — thread-safe spans that record wall time
+* :mod:`repro.obs.trace` — request-scoped spans that record wall time
   *and* simulated I/O time (hooked into ``SimClock``), with a no-op
-  fast path when tracing is disabled;
+  fast path when tracing is disabled, plus the bounded
+  :class:`~repro.obs.trace.TraceBuffer` ring of kept request traces;
+* :mod:`repro.obs.context` — the ``contextvars`` trace context
+  (trace id / tenant / sampling) that survives asyncio hops and is
+  carried into thread pools with
+  :func:`~repro.obs.context.propagate`; W3C ``traceparent`` parsing;
 * :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
-  (the retrieval engine's ``EngineStats`` is a view over it);
+  (fixed log-spaced buckets, ``quantile()`` for p50/p95/p99);
+* :mod:`repro.obs.slo` — latency objectives with rolling burn rate;
+* :mod:`repro.obs.logs` — structured JSONL event/access logs stamped
+  with the active trace id;
+* :mod:`repro.obs.prom` — Prometheus text exposition of the registry;
 * :mod:`repro.obs.sinks` — in-memory and JSONL sinks plus a Chrome
   trace-event exporter loadable in Perfetto / ``chrome://tracing``.
 
@@ -19,13 +28,23 @@ Typical use goes through :func:`repro.api.trace_session` or the
 session is active.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    format_traceparent,
+    parse_traceparent,
+    propagate,
+)
+from repro.obs.logs import JsonlLogger, get_logger
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.prom import render_prometheus
 from repro.obs.sinks import (
     InMemorySink,
     JsonlSink,
@@ -34,9 +53,12 @@ from repro.obs.sinks import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.slo import SLO
 from repro.obs.trace import (
     IORecord,
+    RequestTrace,
     SpanRecord,
+    TraceBuffer,
     Tracer,
     enabled,
     get_tracer,
@@ -46,17 +68,29 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
     "IORecord",
+    "RequestTrace",
     "SpanRecord",
+    "TraceBuffer",
     "Tracer",
     "enabled",
     "get_tracer",
     "span",
     "trace_session",
+    "TraceContext",
+    "current_context",
+    "format_traceparent",
+    "parse_traceparent",
+    "propagate",
+    "JsonlLogger",
+    "get_logger",
+    "SLO",
+    "render_prometheus",
     "TraceSink",
     "InMemorySink",
     "JsonlSink",

@@ -1,0 +1,146 @@
+"""Structured JSONL event/access logs correlated by trace id.
+
+Plain-text access logs cannot be joined against traces or tenant
+accounting; this module emits one JSON object per line instead, and
+every line is stamped with the active request's ``trace_id`` and
+``tenant`` (from :mod:`repro.obs.context`) automatically, so
+``grep <trace-id> access.jsonl`` and ``GET /v1/trace/<trace-id>``
+describe the same request.
+
+A :class:`JsonlLogger` always keeps a bounded in-memory ring (cheap,
+queryable in tests and from ``repro obs report``) and optionally
+appends to a file. Log records are plain dicts with three reserved
+keys: ``ts`` (UNIX seconds), ``event`` (dotted name like
+``service.request``), ``level``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs import context as obs_context
+
+__all__ = ["JsonlLogger", "configure", "get_logger"]
+
+
+class JsonlLogger:
+    """Bounded in-memory JSONL event log with optional file append.
+
+    Parameters
+    ----------
+    path:
+        When given, every record is appended to this file as one JSON
+        line (the parent directory is created). The in-memory ring is
+        kept regardless.
+    capacity:
+        Ring size for the in-memory tail.
+    """
+
+    def __init__(self, path=None, *, capacity: int = 2048) -> None:
+        self.path = Path(path) if path is not None else None
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._file = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def log(self, event: str, *, level: str = "info", **fields) -> dict:
+        """Emit one structured record; returns the record emitted.
+
+        The active trace context contributes ``trace_id``/``tenant``
+        unless the caller passed them explicitly.
+        """
+        record: dict = {
+            "ts": time.time(),
+            "event": event,
+            "level": level,
+        }
+        ctx = obs_context.current()
+        if ctx is not None:
+            if ctx.trace_id and "trace_id" not in fields:
+                record["trace_id"] = ctx.trace_id
+            if ctx.tenant and "tenant" not in fields:
+                record["tenant"] = ctx.tenant
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._ring.append(record)
+            if self._file is not None:
+                self._file.write(line + "\n")
+                self._file.flush()
+        return record
+
+    def access(
+        self,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        wall_seconds: float,
+        **fields,
+    ) -> dict:
+        """One HTTP access-log line (``event=service.request``)."""
+        level = "error" if status >= 500 else "info"
+        return self.log(
+            "service.request",
+            level=level,
+            method=method,
+            path=path,
+            status=status,
+            wall_seconds=wall_seconds,
+            **fields,
+        )
+
+    # ------------------------------------------------------------------
+    def tail(self, limit: int = 100, *, event: str | None = None) -> list[dict]:
+        """Most recent records, oldest first; optionally one event type."""
+        with self._lock:
+            records = list(self._ring)
+        if event is not None:
+            records = [r for r in records if r.get("event") == event]
+        return records[-max(0, int(limit)):]
+
+    def for_trace(self, trace_id: str) -> list[dict]:
+        with self._lock:
+            return [r for r in self._ring if r.get("trace_id") == trace_id]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory"
+        return f"JsonlLogger({where}, records={len(self)})"
+
+
+# ---------------------------------------------------------------------------
+# process-wide default logger
+# ---------------------------------------------------------------------------
+_default = JsonlLogger()
+_default_lock = threading.Lock()
+
+
+def get_logger() -> JsonlLogger:
+    """The process-wide logger (memory-only until :func:`configure`)."""
+    return _default
+
+
+def configure(path=None, *, capacity: int = 2048) -> JsonlLogger:
+    """Replace the process-wide logger (e.g. to add a file sink)."""
+    global _default
+    with _default_lock:
+        _default.close()
+        _default = JsonlLogger(path, capacity=capacity)
+        return _default

@@ -16,11 +16,13 @@ concurrently with the submit path.
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Iterator
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -102,28 +104,56 @@ class Gauge:
         return f"Gauge({self.name!r}, {dict(self.labels)}, value={self._value})"
 
 
-class Histogram:
-    """Streaming summary of an observed distribution (span durations).
+#: Fixed log-spaced bucket upper bounds (seconds): three per decade
+#: from 100 µs to 100 s. A fixed layout (rather than per-instrument
+#: tuning) keeps every latency histogram mergeable and gives the
+#: Prometheus exposition a stable ``le`` series.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (k / 3.0), 6) for k in range(-12, 7)
+)
 
-    Keeps count/sum/min/max rather than buckets — enough for the
-    per-run reports without committing to a bucket layout.
+
+class Histogram:
+    """Bucketed summary of an observed distribution (span durations).
+
+    Observations land in fixed log-spaced buckets (:data:`DEFAULT_BUCKETS`
+    by default, plus an implicit +Inf overflow), so :meth:`quantile`
+    answers p50/p95/p99 with bounded error and zero per-observation
+    allocation, and the layout maps 1:1 onto Prometheus
+    ``_bucket{le=...}`` series. count/sum/min/max are kept exactly.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "_lock")
+    __slots__ = (
+        "name", "labels", "count", "total", "min", "max",
+        "bounds", "bucket_counts", "_lock",
+    )
 
-    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey = (),
+        *,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.bounds: tuple[float, ...] = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS)
+        )
+        #: One count per bound, plus the +Inf overflow slot at the end.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
         with self._lock:
             self.count += 1
             self.total += value
+            self.bucket_counts[idx] += 1
             if value < self.min:
                 self.min = value
             if value > self.max:
@@ -133,22 +163,70 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the exact observed min/max so the tails never over-report.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], not {q}")
+        with self._lock:
+            count = self.count
+            counts = list(self.bucket_counts)
+            lo, hi = self.min, self.max
+        if not count:
+            return 0.0
+        rank = q * count
+        seen = 0.0
+        for idx, n in enumerate(counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lower = self.bounds[idx - 1] if idx > 0 else 0.0
+                upper = self.bounds[idx] if idx < len(self.bounds) else hi
+                frac = (rank - seen) / n
+                est = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                return float(min(max(est, lo), hi))
+            seen += n
+        return float(hi)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ...]`` ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        with self._lock:
+            counts = list(self.bucket_counts)
+        running = 0
+        for bound, n in zip(self.bounds, counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
     def _reset(self) -> None:
         with self._lock:
             self.count = 0
             self.total = 0.0
             self.min = float("inf")
             self.max = float("-inf")
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
 
     def _snapshot_value(self):
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": None, "max": None,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,135 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+Renders every instrument in a :class:`~repro.obs.metrics.MetricsRegistry`
+as the plain-text scrape format Prometheus ingests:
+
+* dotted metric names become underscore names (``service.requests`` →
+  ``service_requests``) — dots are illegal in Prometheus names;
+* counters/gauges render one sample per label set under a shared
+  ``# TYPE`` header;
+* histograms render the full conformant series: cumulative
+  ``_bucket{le="..."}`` samples per bound (``le`` values come from the
+  fixed log-spaced layout in :data:`repro.obs.metrics.DEFAULT_BUCKETS`),
+  the mandatory ``le="+Inf"`` bucket, plus ``_sum`` and ``_count``;
+* label values are escaped per the spec (backslash, quote, newline).
+
+No third-party client library is involved — the format is
+line-oriented text and the registry already holds everything needed.
+Served by the read tier at ``GET /v1/metrics?format=prometheus``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    out = _NAME_OK.sub("_", name.replace(".", "_"))
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _label_name(name: str) -> str:
+    out = _LABEL_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels, extra: list[tuple[str, str]] | None = None) -> str:
+    pairs = [(k, v) for k, v in labels]
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_label_name(k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _format_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text format; ends with ``\\n``.
+
+    Instruments sharing a name (label families) are grouped under one
+    ``# TYPE`` comment, as the format requires.
+    """
+    if registry is None:
+        registry = get_registry()
+    families: dict[str, list] = {}
+    order: list[str] = []
+    for metric in registry:
+        if metric.name not in families:
+            families[metric.name] = []
+            order.append(metric.name)
+        families[metric.name].append(metric)
+    lines: list[str] = []
+    for name in sorted(order):
+        metrics = families[name]
+        pname = _metric_name(name)
+        first = metrics[0]
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            for m in metrics:
+                labels = _render_labels(m.labels)
+                lines.append(f"{pname}{labels} {_format_value(m.value)}")
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            for m in metrics:
+                labels = _render_labels(m.labels)
+                lines.append(f"{pname}{labels} {_format_value(m.value)}")
+        elif isinstance(first, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            for m in metrics:
+                for bound, cumulative in m.cumulative_buckets():
+                    labels = _render_labels(
+                        m.labels, [("le", _format_le(bound))]
+                    )
+                    lines.append(f"{pname}_bucket{labels} {cumulative}")
+                labels = _render_labels(m.labels)
+                lines.append(f"{pname}_sum{labels} {_format_value(m.total)}")
+                lines.append(f"{pname}_count{labels} {m.count}")
+        else:  # pragma: no cover - future instrument types
+            continue
+    return "\n".join(lines) + "\n" if lines else "\n"

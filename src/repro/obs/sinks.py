@@ -159,6 +159,10 @@ def chrome_trace_events(
             "sim_seconds": r.sim_seconds,
             "sim_charged": r.sim_charged,
         }
+        if r.trace_id:
+            args["trace_id"] = r.trace_id
+        if r.tenant:
+            args["tenant"] = r.tenant
         if r.error:
             args["error"] = r.error
         events.append(

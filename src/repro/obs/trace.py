@@ -13,12 +13,25 @@ records both:
   ``perf_counter``;
 * ``sim_start``/``sim_end`` — snapshots of ``SimClock.elapsed`` taken at
   span entry/exit (when a clock is attached);
-* ``sim_charged``/``sim_busy`` — simulated seconds attributed to this
-  span specifically: the tracer registers a listener on the clock
-  (:meth:`SimClock.add_listener`) and credits each charge to the
-  innermost span active on the charging thread, so overlapped batches
-  land on the engine span that issued them, not on whatever happens to
-  be running elsewhere.
+* ``sim_charged``/``sim_busy``/``sim_read`` — simulated seconds
+  attributed to this span specifically: the tracer registers a listener
+  on the clock (:meth:`SimClock.add_listener`) and credits each charge
+  to the innermost active span *in the charging context*.
+
+Span stacks live on :mod:`contextvars` (one module-level ContextVar
+holding an immutable tuple), not ``threading.local``: a request that
+hops from the asyncio service node onto the data node's executor and
+into the engine's internal pools keeps ONE stack, provided each pool
+submit wraps the callable with :func:`repro.obs.context.propagate`.
+That makes the span tree — and SimClock charge attribution — keyed by
+request rather than by thread. Code running outside any request still
+gets natural per-thread roots, because fresh threads start with an
+empty context.
+
+``sim_read`` mirrors the data node's tenant accounting formula exactly
+(``min(advance, sum of read-event seconds)`` per charge), so summing a
+request's spans reproduces the per-tenant ``service.sim_read_seconds``
+counters — the acceptance check for end-to-end attribution.
 
 Disabled tracing must be free: module-level :func:`span` checks one
 global and returns a shared no-op handle — no allocation, no clock
@@ -37,17 +50,23 @@ to install a tracer for a ``with`` block and export the result::
 
 from __future__ import annotations
 
+import contextvars
+import sys
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs import context as obs_context
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "SpanRecord",
     "IORecord",
     "NoopSpan",
+    "RequestTrace",
+    "TraceBuffer",
     "Tracer",
     "enabled",
     "get_tracer",
@@ -70,11 +89,20 @@ class SpanRecord:
     sim_start: float = 0.0
     sim_end: float = 0.0
     #: Simulated seconds charged while this span (and no child) was the
-    #: innermost active span on the charging thread.
+    #: innermost active span in the charging context.
     sim_charged: float = 0.0
     #: Device busy seconds behind ``sim_charged`` (>= sim_charged for
     #: overlapped groups: busy sums, the charge advances max-per-tier).
     sim_busy: float = 0.0
+    #: Simulated read seconds, per the tenant-accounting formula
+    #: (``min(advance, read busy)`` per charge) — sums across a request's
+    #: spans to the per-tenant ``service.sim_read_seconds`` counter.
+    sim_read: float = 0.0
+    #: W3C trace id of the request this span belongs to ("" outside
+    #: any request context).
+    trace_id: str = ""
+    #: Tenant the enclosing request was authenticated as.
+    tenant: str = ""
     args: dict = field(default_factory=dict)
     error: str | None = None
 
@@ -94,6 +122,8 @@ class SpanRecord:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "thread": self.thread,
+            "trace_id": self.trace_id,
+            "tenant": self.tenant,
             "wall_start": self.wall_start,
             "wall_end": self.wall_end,
             "wall_seconds": self.wall_seconds,
@@ -102,6 +132,7 @@ class SpanRecord:
             "sim_seconds": self.sim_seconds,
             "sim_charged": self.sim_charged,
             "sim_busy": self.sim_busy,
+            "sim_read": self.sim_read,
             "args": dict(self.args),
             "error": self.error,
         }
@@ -152,14 +183,23 @@ class NoopSpan:
 
 _NOOP = NoopSpan()
 
+#: The active span stack for the current context: an immutable tuple of
+#: live handles, innermost last. Immutability is what makes propagation
+#: safe — a snapshot carried onto a worker thread shares the tuple, and
+#: spans the worker pushes exist only in the worker's copied context.
+_SPANS: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro-span-stack", default=()
+)
+
 
 class _SpanHandle:
     """Live span: context manager that records on exit."""
 
     __slots__ = (
         "_tracer", "name", "category", "args",
-        "span_id", "parent_id",
-        "wall_start", "sim_start", "sim_charged", "sim_busy",
+        "span_id", "parent_id", "trace_id", "tenant",
+        "wall_start", "sim_start", "sim_charged", "sim_busy", "sim_read",
+        "_token",
     )
 
     def __init__(self, tracer: "Tracer", name: str, category: str, args) -> None:
@@ -169,10 +209,14 @@ class _SpanHandle:
         self.args = args
         self.span_id = 0
         self.parent_id: int | None = None
+        self.trace_id = ""
+        self.tenant = ""
         self.wall_start = 0.0
         self.sim_start = 0.0
         self.sim_charged = 0.0
         self.sim_busy = 0.0
+        self.sim_read = 0.0
+        self._token = None
 
     def note(self, **kwargs) -> None:
         """Attach args discovered mid-span (hit/miss, chosen tier, ...)."""
@@ -183,10 +227,21 @@ class _SpanHandle:
 
     def __enter__(self) -> "_SpanHandle":
         tracer = self._tracer
-        stack = tracer._stack()
-        self.parent_id = stack[-1].span_id if stack else None
+        stack = _SPANS.get()
+        # Parent under the innermost span of *this* tracer: nested
+        # sessions keep independent trees even though they share the
+        # context stack.
+        self.parent_id = None
+        for handle in reversed(stack):
+            if handle._tracer is tracer:
+                self.parent_id = handle.span_id
+                break
+        ctx = obs_context.current()
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+            self.tenant = ctx.tenant
         self.span_id = tracer._next_id()
-        stack.append(self)
+        self._token = _SPANS.set(stack + (self,))
         self.sim_start = tracer._sim_now()
         self.wall_start = time.perf_counter() - tracer.wall_origin
         return self
@@ -195,12 +250,13 @@ class _SpanHandle:
         tracer = self._tracer
         wall_end = time.perf_counter() - tracer.wall_origin
         sim_end = tracer._sim_now()
-        stack = tracer._stack()
-        # Pop self even if instrumented code misbehaved around us.
-        while stack and stack[-1] is not self:
-            stack.pop()
-        if stack:
-            stack.pop()
+        try:
+            # Restores the pre-enter stack, dropping any spans leaked
+            # by misbehaving instrumented code along with self.
+            _SPANS.reset(self._token)
+        except ValueError:
+            # Token from another context (exotic misuse): filter instead.
+            _SPANS.set(tuple(h for h in _SPANS.get() if h is not self))
         tracer._record(
             SpanRecord(
                 name=self.name,
@@ -208,12 +264,15 @@ class _SpanHandle:
                 span_id=self.span_id,
                 parent_id=self.parent_id,
                 thread=threading.current_thread().name,
+                trace_id=self.trace_id,
+                tenant=self.tenant,
                 wall_start=self.wall_start,
                 wall_end=wall_end,
                 sim_start=self.sim_start,
                 sim_end=sim_end,
                 sim_charged=self.sim_charged,
                 sim_busy=self.sim_busy,
+                sim_read=self.sim_read,
                 args=self.args if self.args is not None else {},
                 error=exc_type.__name__ if exc_type is not None else None,
             )
@@ -248,18 +307,10 @@ class Tracer:
         self.io_records: list[IORecord] = []
         self.wall_origin = time.perf_counter()
         self._lock = threading.Lock()
-        self._tls = threading.local()
         self._id_counter = 0
         self._attached = False
 
     # -- bookkeeping ----------------------------------------------------
-    def _stack(self) -> list:
-        stack = getattr(self._tls, "stack", None)
-        if stack is None:
-            stack = []
-            self._tls.stack = stack
-        return stack
-
     def _next_id(self) -> int:
         with self._lock:
             self._id_counter += 1
@@ -295,14 +346,25 @@ class Tracer:
     def _on_charge(self, events, advance: float, elapsed_after: float) -> None:
         """SimClock listener: attribute a charge to the active span.
 
-        Runs on the charging thread, so the innermost span on *this*
-        thread's stack is the code that issued the transfer.
+        Runs on the charging thread inside the charging *context*, so
+        the innermost span of this tracer on the context stack is the
+        code that issued the transfer — on a propagated executor thread
+        that is the submitting request's span, not whatever the thread
+        ran last. Mutation is locked: several workers can share one
+        propagated parent handle and charge concurrently.
         """
-        stack = self._stack()
-        if stack:
-            top = stack[-1]
-            top.sim_charged += advance
-            top.sim_busy += sum(e.seconds for e in events)
+        stack = _SPANS.get()
+        top = None
+        for handle in reversed(stack):
+            if handle._tracer is self:
+                top = handle
+                break
+        busy = 0.0
+        read_busy = 0.0
+        for e in events:
+            busy += e.seconds
+            if e.op == "read":
+                read_busy += e.seconds
         group_start = elapsed_after - advance
         tier_offsets: dict[str, float] = {}
         placed = []
@@ -320,6 +382,12 @@ class Tracer:
             )
             tier_offsets[e.tier] = offset + e.seconds
         with self._lock:
+            if top is not None:
+                top.sim_charged += advance
+                top.sim_busy += busy
+                # Same formula the data node uses for per-tenant read
+                # accounting, so per-trace sums match tenant counters.
+                top.sim_read += min(advance, read_busy)
             self.io_records.extend(placed)
 
     # -- span creation ---------------------------------------------------
@@ -359,6 +427,205 @@ class Tracer:
             f"Tracer(spans={len(self.spans)}, io={len(self.io_records)}, "
             f"clock={'attached' if self._attached else 'none'})"
         )
+
+
+# ---------------------------------------------------------------------------
+# request trace ring buffer
+# ---------------------------------------------------------------------------
+@dataclass
+class RequestTrace:
+    """One finished request's span tree plus its access-log facts."""
+
+    trace_id: str
+    route: str = ""
+    method: str = ""
+    tenant: str = ""
+    status: int = 0
+    wall_seconds: float = 0.0
+    error: str | None = None
+    #: Why the buffer kept this trace: "error", "slow", or "sampled".
+    kept: str = "sampled"
+    spans: list[SpanRecord] = field(default_factory=list)
+
+    @property
+    def sim_read_seconds(self) -> float:
+        """Simulated read seconds charged to this request (tenant formula)."""
+        return sum(s.sim_read for s in self.spans)
+
+    @property
+    def sim_charged_seconds(self) -> float:
+        return sum(s.sim_charged for s in self.spans)
+
+    def to_summary(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "route": self.route,
+            "method": self.method,
+            "tenant": self.tenant,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "sim_read_seconds": self.sim_read_seconds,
+            "sim_charged_seconds": self.sim_charged_seconds,
+            "spans": len(self.spans),
+            "kept": self.kept,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> dict:
+        out = self.to_summary()
+        out["spans"] = [s.to_dict() for s in self.spans]
+        return out
+
+
+class TraceBuffer:
+    """Bounded ring of kept request traces, fed as a live span sink.
+
+    Spans carrying a ``trace_id`` accumulate in a pending area as they
+    finish (on whatever thread finished them);
+    :meth:`finish` — called once per request by the service node —
+    decides whether the assembled tree is kept:
+
+    * **errors** (HTTP 5xx or an unhandled exception) are ALWAYS kept;
+    * **slow tail** (wall time >= ``slow_seconds``) is ALWAYS kept;
+    * otherwise the head-based sampling decision applies (deterministic
+      hash of the trace id against ``sample_rate``, or the upstream
+      ``traceparent`` sampled flag when the caller forwarded one).
+
+    Kept traces are served at ``GET /v1/trace/{id}`` and
+    ``GET /v1/traces``; the ring evicts oldest-first past ``capacity``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        sample_rate: float = 0.1,
+        slow_seconds: float = 1.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], not {sample_rate}")
+        self.capacity = int(capacity)
+        self.sample_rate = float(sample_rate)
+        self.slow_seconds = float(slow_seconds)
+        self._lock = threading.Lock()
+        self._pending: dict[str, list[SpanRecord]] = {}
+        self._kept: OrderedDict[str, RequestTrace] = OrderedDict()
+        self.finished = 0
+        self.dropped = 0
+
+    # -- TraceSink protocol ---------------------------------------------
+    def on_span(self, record: SpanRecord) -> None:
+        if not record.trace_id:
+            return
+        with self._lock:
+            self._pending.setdefault(record.trace_id, []).append(record)
+            # Bound the pending area too: requests that never reach
+            # finish() (client vanished mid-flight) must not grow it
+            # without limit.
+            while len(self._pending) > 4 * self.capacity:
+                self._pending.pop(next(iter(self._pending)))
+
+    def close(self) -> None:
+        pass
+
+    # -- sampling --------------------------------------------------------
+    def head_decision(self, trace_id: str) -> bool:
+        """Deterministic head-sampling decision for a trace id."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        try:
+            bucket = int(trace_id[:8], 16) / float(0x100000000)
+        except ValueError:
+            return False
+        return bucket < self.sample_rate
+
+    # -- lifecycle -------------------------------------------------------
+    def finish(
+        self,
+        trace_id: str,
+        *,
+        route: str = "",
+        method: str = "",
+        tenant: str = "",
+        status: int = 0,
+        wall_seconds: float = 0.0,
+        error: str | None = None,
+        sampled: bool | None = None,
+    ) -> RequestTrace | None:
+        """Seal a request's trace; returns it when kept, else ``None``.
+
+        ``sampled`` overrides the hash decision (pass the upstream
+        ``traceparent`` flag); errors and the slow tail are kept no
+        matter what it says.
+        """
+        with self._lock:
+            spans = self._pending.pop(trace_id, [])
+            self.finished += 1
+        if error is not None or status >= 500:
+            kept = "error"
+        elif wall_seconds >= self.slow_seconds:
+            kept = "slow"
+        elif sampled if sampled is not None else self.head_decision(trace_id):
+            kept = "sampled"
+        else:
+            with self._lock:
+                self.dropped += 1
+            return None
+        spans.sort(key=lambda s: s.wall_start)
+        trace = RequestTrace(
+            trace_id=trace_id,
+            route=route,
+            method=method,
+            tenant=tenant,
+            status=status,
+            wall_seconds=wall_seconds,
+            error=error,
+            kept=kept,
+            spans=spans,
+        )
+        with self._lock:
+            self._kept[trace_id] = trace
+            self._kept.move_to_end(trace_id)
+            while len(self._kept) > self.capacity:
+                self._kept.popitem(last=False)
+        return trace
+
+    # -- reads -----------------------------------------------------------
+    def get(self, trace_id: str) -> RequestTrace | None:
+        with self._lock:
+            return self._kept.get(trace_id)
+
+    def list(self, limit: int = 20) -> list[RequestTrace]:
+        """Most recently kept traces, newest first."""
+        with self._lock:
+            kept = list(self._kept.values())
+        return kept[::-1][: max(0, int(limit))]
+
+    def slowest(self, limit: int = 10) -> list[RequestTrace]:
+        with self._lock:
+            kept = list(self._kept.values())
+        kept.sort(key=lambda t: t.wall_seconds, reverse=True)
+        return kept[: max(0, int(limit))]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "sample_rate": self.sample_rate,
+                "slow_seconds": self.slow_seconds,
+                "kept": len(self._kept),
+                "pending": len(self._pending),
+                "finished": self.finished,
+                "dropped": self.dropped,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kept)
 
 
 # ---------------------------------------------------------------------------
@@ -457,6 +724,12 @@ def trace_session(
     Yields the :class:`Tracer`; it stays readable after the block (for
     ``summary()`` or a custom export). Sessions may nest — the inner
     session's tracer wins until it exits.
+
+    Teardown is unconditional: the global tracer is restored and the
+    SimClock listener detached even when the traced block, a sink's
+    ``close()``, or an export raises — a failed session must never keep
+    attributing charges to a dead tracer (that would double-count the
+    next session's I/O).
     """
     clock = _resolve_clock(target)
     tracer = Tracer(clock=clock, sinks=sinks, registry=registry)
@@ -467,12 +740,29 @@ def trace_session(
         yield tracer
     finally:
         _uninstall(previous)
-        tracer.detach_clock()
-        for sink in tracer.sinks:
-            close = getattr(sink, "close", None)
-            if close is not None:
-                close()
-        if chrome_path is not None:
-            tracer.export_chrome(chrome_path)
-        if jsonl_path is not None:
-            tracer.export_jsonl(jsonl_path)
+        try:
+            tracer.detach_clock()
+        finally:
+            close_failure: BaseException | None = None
+            for sink in tracer.sinks:
+                close = getattr(sink, "close", None)
+                if close is None:
+                    continue
+                try:
+                    close()
+                except BaseException as exc:  # noqa: BLE001 - close all sinks
+                    if close_failure is None:
+                        close_failure = exc
+            try:
+                if chrome_path is not None:
+                    tracer.export_chrome(chrome_path)
+            finally:
+                try:
+                    if jsonl_path is not None:
+                        tracer.export_jsonl(jsonl_path)
+                finally:
+                    # Surface a sink-close failure only when the traced
+                    # block itself succeeded — the body's exception is
+                    # the primary failure and must not be replaced.
+                    if close_failure is not None and sys.exc_info()[0] is None:
+                        raise close_failure

@@ -29,7 +29,10 @@ Quick start::
         info = await client.open_campaign("fig9-multi")
         field, meta = await client.restore("fig9-multi", "dpot", level=0)
 
-or from the shell: ``repro serve --root /path/to/store --port 8080``.
+or from the shell: ``repro serve --root /path/to/store --port 8080``
+(add ``--tracing`` for the ``/v1/trace*`` endpoints and ``traceparent``
+propagation, then ``repro obs report --url ...`` for a live view of the
+slowest requests and SLO burn rates).
 """
 
 from repro.service.client import ServiceClient

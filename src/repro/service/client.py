@@ -32,6 +32,7 @@ from repro.errors import (
     StorageError,
     VariableNotFoundError,
 )
+from repro.obs import context as obs_context
 from repro.service.http import ClientConnection, Response
 
 __all__ = ["ServiceClient"]
@@ -68,25 +69,50 @@ def _raise_for(response: Response) -> None:
 
 
 class ServiceClient:
-    """One tenant's connection to a running :class:`CanopusService`."""
+    """One tenant's connection to a running :class:`CanopusService`.
+
+    Every request carries a W3C ``traceparent`` header: when the caller
+    already runs inside a trace context (e.g. under
+    :func:`repro.api.trace_session` behind a service of its own) that
+    context's trace id is forwarded, otherwise a fresh one is minted per
+    request. The id the server answered under comes back in each
+    ``meta["request_id"]`` — quote it to ``GET /v1/trace/{id}``
+    (:meth:`trace`) to see where that exact request spent its time.
+    """
 
     def __init__(self, host: str, port: int, *, token: str = "") -> None:
         self.token = token
         self._conn = ClientConnection(host, port)
+        #: x-request-id of the most recent response (None before any).
+        self.last_request_id: str | None = None
 
     # -- plumbing -------------------------------------------------------
     def _headers(self, extra: dict | None = None) -> dict[str, str]:
         headers: dict[str, str] = {}
         if self.token:
             headers["authorization"] = f"Bearer {self.token}"
+        ctx = obs_context.current()
+        if ctx is not None and ctx.trace_id:
+            headers["traceparent"] = ctx.traceparent()
+        else:
+            headers["traceparent"] = obs_context.format_traceparent(
+                obs_context.new_trace_id(), obs_context.new_span_id()
+            )
         if extra:
             headers.update(extra)
         return headers
 
+    def _note_response(self, resp: Response) -> None:
+        rid = resp.header("x-request-id")
+        if rid:
+            self.last_request_id = rid
+
     async def _get(self, target: str, *, headers: dict | None = None) -> Response:
-        return await self._conn.request(
+        resp = await self._conn.request(
             "GET", target, headers=self._headers(headers)
         )
+        self._note_response(resp)
+        return resp
 
     @staticmethod
     def _query(params: dict) -> str:
@@ -97,13 +123,14 @@ class ServiceClient:
 
     # -- endpoints ------------------------------------------------------
     async def healthz(self) -> bool:
-        resp = await self._conn.request("GET", "/healthz")
+        resp = await self._get("/healthz")
         return resp.status == 200 and resp.parsed_json().get("ok") is True
 
     async def open_campaign(self, name: str) -> dict:
         resp = await self._conn.request(
             "POST", f"/v1/campaigns/{name}/open", headers=self._headers()
         )
+        self._note_response(resp)
         _raise_for(resp)
         return resp.parsed_json()
 
@@ -151,6 +178,7 @@ class ServiceClient:
             "cache": resp.header("x-canopus-cache"),
             "bytes": len(resp.body),
             "status": resp.status,
+            "request_id": resp.header("x-request-id"),
         }
         if resp.status == 304:
             return None, meta
@@ -190,8 +218,30 @@ class ServiceClient:
         }
         return resp.body, meta
 
-    async def metrics(self) -> dict:
-        resp = await self._get("/v1/metrics")
+    async def metrics(self, *, format: str | None = None) -> dict | str:
+        """Server metrics: parsed JSON, or raw text for ``"prometheus"``."""
+        target = "/v1/metrics"
+        if format:
+            target += f"?format={format}"
+        resp = await self._get(target)
+        _raise_for(resp)
+        if format == "prometheus":
+            return resp.body.decode("utf-8")
+        return resp.parsed_json()
+
+    async def traces(self, *, limit: int = 20) -> dict:
+        """Summaries of recently kept request traces (newest first)."""
+        resp = await self._get(f"/v1/traces?limit={int(limit)}")
+        _raise_for(resp)
+        return resp.parsed_json()
+
+    async def trace(self, trace_id: str) -> dict:
+        """One kept request trace with its full span tree.
+
+        Raises :class:`VariableNotFoundError` when the id was dropped
+        by sampling or already evicted from the ring.
+        """
+        resp = await self._get(f"/v1/trace/{trace_id}")
         _raise_for(resp)
         return resp.parsed_json()
 

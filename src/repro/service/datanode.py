@@ -18,9 +18,13 @@ Multi-tenant sharing happens here by construction:
   keys carry content identity + tenant-visible filter state only;
 * *accounting* stays per tenant: a listener on the hierarchy's
   :class:`~repro.storage.simclock.SimClock` attributes every simulated
-  read charged by a worker thread to the tenant bound to that thread
-  (charges are issued at submit time on the restoring thread, so the
-  attribution is deterministic).
+  read to the tenant carried by the active
+  :class:`~repro.obs.context.TraceContext` — each executor job runs
+  inside a copy of the submitting request's context
+  (:func:`contextvars.copy_context` at submit time), so attribution is
+  keyed by *request*, never by whatever the worker thread ran last,
+  and charges issued from the engine's internal pools (which propagate
+  the same context) land on the right tenant too.
 
 Delta cursors: every restore result carries an ETag-like cursor
 ``<fp12>.<var>.L<level>.<filter digest>``. A client resuming with the
@@ -33,6 +37,7 @@ longer matches (the store was rewritten under the cursor).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -47,6 +52,7 @@ from repro.errors import (
     StorageError,
     VariableNotFoundError,
 )
+from repro.obs import context as obs_context
 from repro.obs import trace
 from repro.service.tenants import TenantConfig, TenantRegistry
 from repro.session import CampaignHandle, Session
@@ -131,43 +137,53 @@ class DataNode:
             self.executor_workers * max(1, int(queue_factor))
         )
         self._open_lock = threading.Lock()
-        self._tls = threading.local()
         self._closed = False
-        # Attribute simulated read seconds to the tenant bound to the
-        # charging thread (see _run). Charges from untenanted threads
-        # (e.g. in-process library use) are left unattributed.
+        # Attribute simulated read seconds to the tenant carried by the
+        # active trace context (see _run). Charges from contexts without
+        # a tenant (e.g. in-process library use) are left unattributed.
         self._clock_listener = self._on_sim_charge
         hierarchy.clock.add_listener(self._clock_listener)
 
     # -- sim-read attribution ------------------------------------------
     def _on_sim_charge(self, events, advance: float, after: float) -> None:
-        tenant = getattr(self._tls, "tenant", None)
-        if tenant is not None and advance > 0 and self.tenants is not None:
-            read_s = sum(e.seconds for e in events if e.op == "read")
-            if read_s > 0:
-                self.tenants.charge_sim_read(tenant, min(advance, read_s))
+        if advance <= 0 or self.tenants is None:
+            return
+        ctx = obs_context.current()
+        if ctx is None or not ctx.tenant:
+            return
+        tenant = self.tenants.find(ctx.tenant)
+        if tenant is None:
+            return
+        read_s = sum(e.seconds for e in events if e.op == "read")
+        if read_s > 0:
+            self.tenants.charge_sim_read(tenant, min(advance, read_s))
 
     # -- bounded offload ------------------------------------------------
     async def _run(self, fn, *args, tenant: TenantConfig | None = None):
         """Run blocking ``fn`` on the bounded executor.
 
-        The tenant is bound to the worker thread for the duration so
-        the SimClock listener can attribute charges; the semaphore
-        bounds queued work without ever blocking the event loop.
+        The job runs inside a copy of the submitting request's context
+        (so the request's trace context — and span stack — follow it
+        across the thread hop), with the tenant bound on that copy for
+        SimClock attribution; the semaphore bounds queued work without
+        ever blocking the event loop.
         """
         if self._closed:
             raise RestorationError("data node is closed")
 
         def _bound():
-            self._tls.tenant = tenant
+            if tenant is None:
+                return fn(*args)
+            token = obs_context.bind_tenant(tenant.name)
             try:
                 return fn(*args)
             finally:
-                self._tls.tenant = None
+                obs_context.deactivate(token)
 
+        ctx = contextvars.copy_context()
         loop = asyncio.get_running_loop()
         async with self._slots:
-            return await loop.run_in_executor(self._executor, _bound)
+            return await loop.run_in_executor(self._executor, ctx.run, _bound)
 
     # -- campaign lifecycle --------------------------------------------
     def _handle(self, name: str) -> CampaignHandle:

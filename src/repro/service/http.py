@@ -64,6 +64,11 @@ class Request:
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)
 
+    @property
+    def traceparent(self) -> str | None:
+        """Raw W3C ``traceparent`` header, if the caller sent one."""
+        return self.headers.get("traceparent")
+
     def json(self):
         try:
             return json.loads(self.body.decode("utf-8") or "null")
@@ -108,6 +113,11 @@ class Response:
 
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)
+
+    @property
+    def request_id(self) -> str | None:
+        """The server-assigned ``x-request-id`` (= trace id), if any."""
+        return self.headers.get("x-request-id")
 
     def render(self, *, keep_alive: bool = True) -> bytes:
         reason = REASONS.get(self.status, "Unknown")

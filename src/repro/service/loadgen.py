@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ServiceError
+from repro.obs.metrics import Histogram
 from repro.service.client import ServiceClient
 from repro.service.servicenode import CanopusService
 
@@ -56,14 +57,27 @@ class LoadReport:
         return self.bytes_served / self.wall_seconds / 1e6
 
     def latency_summary(self) -> dict:
+        """Latency distribution through the obs bucketed histogram.
+
+        Using :class:`~repro.obs.metrics.Histogram` (fixed log-spaced
+        buckets + interpolated :meth:`~repro.obs.metrics.Histogram.quantile`)
+        keeps these numbers directly comparable to the server-side
+        ``service.request_seconds`` histograms and to the Prometheus
+        exposition.
+        """
         if not self.latencies:
-            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
-        arr = np.sort(np.asarray(self.latencies))
+            return {
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+            }
+        hist = Histogram("loadgen.latency")
+        for dt in self.latencies:
+            hist.observe(dt)
         return {
-            "mean": float(arr.mean()),
-            "p50": float(arr[int(0.50 * (len(arr) - 1))]),
-            "p95": float(arr[int(0.95 * (len(arr) - 1))]),
-            "max": float(arr[-1]),
+            "mean": hist.mean,
+            "p50": hist.quantile(0.50),
+            "p95": hist.quantile(0.95),
+            "p99": hist.quantile(0.99),
+            "max": float(hist.max),
         }
 
     def to_dict(self) -> dict:

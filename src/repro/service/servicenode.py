@@ -16,19 +16,32 @@ Endpoints (all under ``/v1`` except the health probe):
 ``GET  .../vars/{var}/restore?level=|tolerance=``     restore (npy body)
 ``GET  .../vars/{var}/stats?level=``                  per-chunk summaries
 ``GET  .../raw/{key}?start=&length=``                 ranged raw product
-``GET  /v1/metrics``                                  obs + tenant usage
+``GET  /v1/metrics[?format=prometheus]``              obs + tenant usage
+``GET  /v1/traces?limit=``                            kept trace summaries
+``GET  /v1/trace/{id}``                               one full span tree
 ====================================================  ======================
 
 Restore responses carry ``ETag``/``X-Canopus-Cursor`` (the resumable
 delta cursor), ``X-Canopus-Level``, shape/dtype, and the delta-RMS of
 the last applied refinement; ``If-None-Match`` with the cursor of the
 requested state short-circuits to 304 with no body.
+
+Every request is observable end to end: the node accepts a W3C
+``traceparent`` header (or starts a fresh trace), activates the trace
+context for the request's whole asyncio + executor journey, echoes the
+trace id back as ``x-request-id``, feeds per-route/per-tenant latency
+histograms and SLO burn rates, writes one JSONL access-log line, and —
+when tracing is enabled — seals the request's span tree into the
+:class:`~repro.obs.trace.TraceBuffer` served by the ``/v1/trace*``
+routes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import io
+import threading
+import time
 
 import numpy as np
 
@@ -40,8 +53,13 @@ from repro.errors import (
     error_code,
     http_status,
 )
+from repro.obs import context as obs_context
 from repro.obs import trace
+from repro.obs.logs import JsonlLogger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.prom import render_prometheus
+from repro.obs.slo import SLO
+from repro.obs.trace import TraceBuffer, Tracer
 from repro.service.datanode import DataNode
 from repro.service.http import Request, Response, read_request
 from repro.service.tenants import TenantConfig, TenantRegistry
@@ -107,45 +125,190 @@ class ServiceNode:
         tenants: TenantRegistry,
         *,
         metrics: MetricsRegistry | None = None,
+        trace_buffer: TraceBuffer | None = None,
+        access_log: JsonlLogger | None = None,
+        slo_target_seconds: float = 0.5,
+        slo_objective: float = 0.95,
     ) -> None:
         self.datanode = datanode
         self.tenants = tenants
         self.metrics = metrics if metrics is not None else get_registry()
+        self.trace_buffer = trace_buffer
+        self.access_log = access_log
+        self.slo_target_seconds = float(slo_target_seconds)
+        self.slo_objective = float(slo_objective)
+        self._slos: dict[str, SLO] = {}
+        self._slo_lock = threading.Lock()
 
     # -- dispatch -------------------------------------------------------
     async def handle(self, request: Request) -> Response:
-        """Route one request; never raises (errors become responses)."""
+        """Route one request; never raises (errors become responses).
+
+        This is where a request's observable identity is established:
+        an incoming ``traceparent`` is honored (invalid ones are treated
+        as absent), otherwise a fresh trace id is minted; the context is
+        active for the whole request — asyncio hops and, via explicit
+        propagation, every executor thread the request touches.
+        """
+        t0 = time.perf_counter()
+        upstream = obs_context.parse_traceparent(request.traceparent)
+        if upstream is not None:
+            ctx = upstream
+            head_sampled: bool | None = upstream.sampled
+        else:
+            ctx = obs_context.TraceContext(trace_id=obs_context.new_trace_id())
+            head_sampled = None
+        token = obs_context.activate(ctx)
+        route = self._route_template(request)
+        error: str | None = None
         try:
-            response = await self._dispatch(request)
-        except QuotaError as exc:
-            response = Response.json(
-                {"error": str(exc), "code": exc.code},
-                status=http_status(exc),
-                headers={"retry-after": f"{exc.retry_after:.3f}"},
+            try:
+                response = await self._dispatch(request, route)
+            except QuotaError as exc:
+                response = Response.json(
+                    {"error": str(exc), "code": exc.code},
+                    status=http_status(exc),
+                    headers={"retry-after": f"{exc.retry_after:.3f}"},
+                )
+            except ReproError as exc:
+                response = Response.json(
+                    {"error": str(exc), "code": error_code(exc)},
+                    status=http_status(exc),
+                )
+            except Exception as exc:  # noqa: BLE001 — the wire must answer
+                error = f"{type(exc).__name__}: {exc}"
+                response = Response.json(
+                    {"error": error, "code": "internal"},
+                    status=500,
+                )
+            tenant_name = (obs_context.current() or ctx).tenant
+            self._finish_request(
+                request,
+                response,
+                route=route,
+                tenant=tenant_name,
+                wall_seconds=time.perf_counter() - t0,
+                error=error,
+                head_sampled=head_sampled,
+                trace_id=ctx.trace_id,
             )
-        except ReproError as exc:
-            response = Response.json(
-                {"error": str(exc), "code": error_code(exc)},
-                status=http_status(exc),
-            )
-        except Exception as exc:  # noqa: BLE001 — the wire must answer
-            response = Response.json(
-                {"error": f"{type(exc).__name__}: {exc}", "code": "internal"},
-                status=500,
-            )
+        finally:
+            obs_context.deactivate(token)
+        return response
+
+    def _finish_request(
+        self,
+        request: Request,
+        response: Response,
+        *,
+        route: str,
+        tenant: str,
+        wall_seconds: float,
+        error: str | None,
+        head_sampled: bool | None,
+        trace_id: str,
+    ) -> None:
+        """Account one finished request and stamp its identity headers."""
         self.metrics.counter(
             "service.responses", status=str(response.status)
         ).inc()
-        return response
+        failed = error is not None or response.status >= 500
+        if route != "/healthz":
+            self.metrics.histogram(
+                "service.request_seconds",
+                route=route,
+                tenant=tenant or "-",
+            ).observe(wall_seconds)
+            self._slo_for(route).observe(wall_seconds, error=failed)
+        if self.access_log is not None:
+            self.access_log.access(
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                wall_seconds=wall_seconds,
+                route=route,
+                trace_id=trace_id,
+                tenant=tenant,
+                error=error,
+            )
+        if self.trace_buffer is not None:
+            self.trace_buffer.finish(
+                trace_id,
+                route=route,
+                method=request.method,
+                tenant=tenant,
+                status=response.status,
+                wall_seconds=wall_seconds,
+                error=error,
+                sampled=head_sampled,
+            )
+        response.headers.setdefault("x-request-id", trace_id)
+        response.headers.setdefault(
+            "traceparent",
+            obs_context.format_traceparent(
+                trace_id,
+                obs_context.new_span_id(),
+                sampled=True if head_sampled is None else head_sampled,
+            ),
+        )
 
-    async def _dispatch(self, request: Request) -> Response:
+    def _slo_for(self, route: str) -> SLO:
+        slo = self._slos.get(route)
+        if slo is None:
+            with self._slo_lock:
+                slo = self._slos.get(route)
+                if slo is None:
+                    slo = SLO(
+                        route,
+                        target_seconds=self.slo_target_seconds,
+                        objective=self.slo_objective,
+                        registry=self.metrics,
+                    )
+                    self._slos[route] = slo
+        return slo
+
+    @staticmethod
+    def _route_template(request: Request) -> str:
+        """Low-cardinality route label for metrics/SLOs/traces."""
+        if request.path == "/healthz":
+            return "/healthz"
+        parts = [p for p in request.path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            return "other"
+        rest = parts[1:]
+        if rest == ["metrics"]:
+            return "/v1/metrics"
+        if rest[:1] == ["traces"]:
+            return "/v1/traces"
+        if rest[:1] == ["trace"]:
+            return "/v1/trace/{id}"
+        if rest[:1] == ["campaigns"] and len(rest) >= 2:
+            tail = rest[2:]
+            if tail == ["open"]:
+                return "/v1/campaigns/{name}/open"
+            if not tail:
+                return "/v1/campaigns/{name}"
+            if len(tail) == 3 and tail[0] == "vars" and tail[2] == "restore":
+                return "/v1/campaigns/{name}/vars/{var}/restore"
+            if len(tail) == 3 and tail[0] == "vars" and tail[2] == "stats":
+                return "/v1/campaigns/{name}/vars/{var}/stats"
+            if tail[:1] == ["raw"]:
+                return "/v1/campaigns/{name}/raw/{key}"
+        return "other"
+
+    async def _dispatch(self, request: Request, route: str) -> Response:
         if request.path == "/healthz":
             return Response.json({"ok": True})
         tenant = self.tenants.authenticate(request.header("authorization"))
+        # Record the tenant on the request context: executor jobs copy
+        # the context, so SimClock charges and spans inherit it; the
+        # token is dropped deliberately — handle() resets the whole
+        # context when the request ends.
+        obs_context.bind_tenant(tenant.name)
         self.tenants.admit(tenant)
         try:
             with trace.span(
-                "service.request", "service",
+                f"http {request.method} {route}", "service",
                 {"path": request.path, "tenant": tenant.name},
             ):
                 response = await self._route(request, tenant)
@@ -159,7 +322,11 @@ class ServiceNode:
         if parts[:1] != ["v1"]:
             return self._not_found(request)
         if parts[1:] == ["metrics"] and request.method == "GET":
-            return self._metrics()
+            return self._metrics(request)
+        if parts[1:] == ["traces"] and request.method == "GET":
+            return self._traces(request)
+        if len(parts) == 3 and parts[1] == "trace" and request.method == "GET":
+            return self._trace(parts[2])
         if len(parts) >= 3 and parts[1] == "campaigns":
             name = parts[2]
             rest = parts[3:]
@@ -273,15 +440,67 @@ class ServiceNode:
         }
         return Response.binary(blob, headers=headers)
 
-    def _metrics(self) -> Response:
+    def _metrics(self, request: Request) -> Response:
+        fmt = (request.query.get("format") or "").strip().lower()
+        if fmt == "prometheus":
+            text = render_prometheus(self.metrics)
+            return Response(
+                status=200,
+                headers={
+                    "content-type": (
+                        "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                },
+                body=text.encode("utf-8"),
+            )
+        if fmt and fmt != "json":
+            raise RestorationError(
+                f"unknown metrics format {fmt!r} (expected 'prometheus')"
+            )
+        payload = {
+            "service": self.metrics.prefix_snapshot("service"),
+            "metrics": self.metrics.snapshot(),
+            "tenants": self.tenants.usage(),
+            "datanode": self.datanode.metrics(),
+            "slo": {
+                route: slo.snapshot()
+                for route, slo in sorted(self._slos.items())
+            },
+        }
+        if self.trace_buffer is not None:
+            payload["traces"] = self.trace_buffer.stats()
+        return Response.json(payload)
+
+    def _traces(self, request: Request) -> Response:
+        limit = _parse_int(request.query, "limit")
+        if self.trace_buffer is None:
+            return Response.json({"tracing": False, "traces": []})
+        kept = self.trace_buffer.list(limit if limit is not None else 20)
         return Response.json(
             {
-                "service": self.metrics.prefix_snapshot("service"),
-                "metrics": self.metrics.snapshot(),
-                "tenants": self.tenants.usage(),
-                "datanode": self.datanode.metrics(),
+                "tracing": True,
+                "traces": [t.to_summary() for t in kept],
+                "stats": self.trace_buffer.stats(),
             }
         )
+
+    def _trace(self, trace_id: str) -> Response:
+        if self.trace_buffer is None:
+            return Response.json(
+                {"error": "tracing is disabled", "code": "not-found"},
+                status=404,
+            )
+        kept = self.trace_buffer.get(trace_id)
+        if kept is None:
+            return Response.json(
+                {
+                    "error": f"trace {trace_id!r} not in the buffer "
+                    "(dropped by sampling or evicted)",
+                    "code": "not-found",
+                },
+                status=404,
+            )
+        return Response.json(kept.to_dict())
 
 
 class CanopusService:
@@ -291,6 +510,13 @@ class CanopusService:
     :class:`TenantRegistry`, a list of :class:`TenantConfig`, or
     ``None`` for open access (single anonymous tenant, no budgets —
     development only).
+
+    ``tracing=True`` turns on request tracing for the whole process: a
+    :class:`~repro.obs.trace.Tracer` is installed for the server's
+    lifetime (attached to the hierarchy's SimClock) feeding a
+    :class:`~repro.obs.trace.TraceBuffer`, so sampled/slow/error
+    requests are queryable at ``/v1/trace*``. It defaults to off —
+    untraced serving must keep the one-attribute-check fast path.
     """
 
     def __init__(
@@ -305,6 +531,13 @@ class CanopusService:
         cache_bytes: int = 64 << 20,
         verify_checksums: bool = True,
         metrics: MetricsRegistry | None = None,
+        tracing: bool = False,
+        trace_capacity: int = 256,
+        trace_sample_rate: float = 0.1,
+        trace_slow_seconds: float = 1.0,
+        slo_target_seconds: float = 0.5,
+        slo_objective: float = 0.95,
+        access_log: JsonlLogger | None = None,
     ) -> None:
         if isinstance(tenants, TenantRegistry):
             registry = tenants
@@ -315,6 +548,7 @@ class CanopusService:
         self.tenants = registry
         self.host = host
         self.port = port
+        self.hierarchy = hierarchy
         self.datanode = DataNode(
             hierarchy,
             tenants=registry,
@@ -323,7 +557,26 @@ class CanopusService:
             cache_bytes=cache_bytes,
             verify_checksums=verify_checksums,
         )
-        self.node = ServiceNode(self.datanode, registry, metrics=metrics)
+        self.trace_buffer = (
+            TraceBuffer(
+                trace_capacity,
+                sample_rate=trace_sample_rate,
+                slow_seconds=trace_slow_seconds,
+            )
+            if tracing
+            else None
+        )
+        self.node = ServiceNode(
+            self.datanode,
+            registry,
+            metrics=metrics,
+            trace_buffer=self.trace_buffer,
+            access_log=access_log,
+            slo_target_seconds=slo_target_seconds,
+            slo_objective=slo_objective,
+        )
+        self.tracer: Tracer | None = None
+        self._previous_tracer: Tracer | None = None
         self._server: asyncio.AbstractServer | None = None
 
     # -- connection plumbing -------------------------------------------
@@ -368,6 +621,14 @@ class CanopusService:
         """Bind and start serving; returns the bound (host, port)."""
         if self._server is not None:
             raise ServiceError("service already started")
+        if self.trace_buffer is not None and self.tracer is None:
+            self.tracer = Tracer(
+                clock=self.hierarchy.clock,
+                sinks=[self.trace_buffer],
+                registry=self.node.metrics,
+            )
+            self.tracer.attach_clock(self.hierarchy.clock)
+            self._previous_tracer = trace._install(self.tracer)
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -387,6 +648,11 @@ class CanopusService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.tracer is not None:
+            trace._uninstall(self._previous_tracer)
+            self.tracer.detach_clock()
+            self.tracer = None
+            self._previous_tracer = None
         # Executor shutdown waits for in-flight decodes; keep the loop
         # responsive by doing the wait off-loop.
         await asyncio.get_running_loop().run_in_executor(

@@ -108,6 +108,7 @@ class TenantRegistry:
     ) -> None:
         self._lock = threading.Lock()
         self._by_token: dict[str, TenantConfig] = {}
+        self._by_name: dict[str, TenantConfig] = {}
         self._usage: dict[str, TenantUsage] = {}
         self._clock = clock
         self.metrics = metrics if metrics is not None else get_registry()
@@ -124,6 +125,7 @@ class TenantRegistry:
             if any(t.name == tenant.name for t in self._by_token.values()):
                 raise ConfigError(f"duplicate tenant name {tenant.name!r}")
             self._by_token[tenant.token] = tenant
+            self._by_name[tenant.name] = tenant
             self._usage[tenant.name] = TenantUsage()
 
     @classmethod
@@ -145,6 +147,11 @@ class TenantRegistry:
     def tenants(self) -> list[TenantConfig]:
         with self._lock:
             return sorted(self._by_token.values(), key=lambda t: t.name)
+
+    def find(self, name: str) -> TenantConfig | None:
+        """Tenant by name (used for context-based charge attribution)."""
+        with self._lock:
+            return self._by_name.get(name)
 
     # -- authentication -------------------------------------------------
     def authenticate(self, authorization: str | None) -> TenantConfig:

@@ -42,6 +42,7 @@ from repro.core.progressive import ProgressiveReader
 from repro.core.restored_cache import dataset_fingerprint
 from repro.errors import RestorationError, VariableNotFoundError
 from repro.io.dataset import BPDataset
+from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["CampaignHandle", "Session"]
@@ -219,22 +220,31 @@ class CampaignHandle:
         if tolerance is not None:
             if tolerance < 0:
                 raise RestorationError("tolerance must be >= 0")
-            reader = ProgressiveReader(
-                self.engine.decoder,
+            with trace.span(
+                "session.restore", "session",
+                {"campaign": self.name, "var": var, "tolerance": tolerance},
+            ):
+                reader = ProgressiveReader(
+                    self.engine.decoder,
+                    var,
+                    pipeline=self.session.pipeline,
+                    lookahead=self.session.lookahead,
+                    min_significance=min_significance,
+                )
+                return reader.refine_until(
+                    rms_tolerance=tolerance, max_level=0, region=region
+                )
+        with trace.span(
+            "session.restore", "session",
+            {"campaign": self.name, "var": var,
+             "level": 0 if level is None else int(level)},
+        ):
+            return self.engine.restore(
                 var,
-                pipeline=self.session.pipeline,
-                lookahead=self.session.lookahead,
+                0 if level is None else int(level),
+                region=region,
                 min_significance=min_significance,
             )
-            return reader.refine_until(
-                rms_tolerance=tolerance, max_level=0, region=region
-            )
-        return self.engine.restore(
-            var,
-            0 if level is None else int(level),
-            region=region,
-            min_significance=min_significance,
-        )
 
     def restore_many(
         self,
@@ -248,9 +258,14 @@ class CampaignHandle:
         variables = list(variables)
         for var in variables:
             self._require_var(var)
-        return self.engine.restore_many(
-            variables, level, region=region, min_significance=min_significance
-        )
+        with trace.span(
+            "session.restore_many", "session",
+            {"campaign": self.name, "vars": len(variables), "level": level},
+        ):
+            return self.engine.restore_many(
+                variables, level,
+                region=region, min_significance=min_significance,
+            )
 
     # -- near-data summaries -------------------------------------------
     def stats(

@@ -384,3 +384,75 @@ class TestSummary:
     def test_tracer_repr_mentions_counts(self):
         tracer = Tracer()
         assert "spans=0" in repr(tracer)
+
+
+class TestTeardownHardening:
+    """trace_session must fully detach even when everything raises."""
+
+    def test_failed_session_detaches_clock_listener(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with trace_session(clock):
+                raise RuntimeError("boom")
+        assert trace.get_tracer() is None
+        assert clock._listeners == []
+
+    def test_two_failed_sessions_do_not_double_attribute(self):
+        """Charges after two crashed sessions land on exactly one tracer."""
+        clock = SimClock()
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                with trace_session(clock):
+                    clock.charge("t", "read", 1, 0.5)
+                    raise RuntimeError("boom")
+        with trace_session(clock) as tracer:
+            with trace.span("after"):
+                clock.charge("t", "read", 1, 0.25)
+        (rec,) = tracer.spans
+        # One listener, one attribution: not doubled by dead tracers.
+        assert rec.sim_charged == pytest.approx(0.25)
+        assert len(tracer.io_records) == 1
+        assert clock._listeners == []
+
+    def test_raising_sink_close_does_not_skip_detach(self, tmp_path):
+        class BadSink(InMemorySink):
+            def close(self):
+                raise OSError("disk full")
+
+        clock = SimClock()
+        with pytest.raises(OSError, match="disk full"):
+            with trace_session(clock, sinks=[BadSink()]):
+                pass
+        assert trace.get_tracer() is None
+        assert clock._listeners == []
+
+    def test_raising_sink_close_still_exports(self, tmp_path):
+        """Every sink is closed and exports run before the close error."""
+        closed = []
+
+        class BadSink(InMemorySink):
+            def close(self):
+                closed.append(self)
+                raise OSError("close failed")
+
+        out = tmp_path / "trace.json"
+        clock = SimClock()
+        with pytest.raises(OSError, match="close failed"):
+            with trace_session(
+                clock, sinks=[BadSink(), BadSink()], chrome_path=out
+            ):
+                with trace.span("work"):
+                    pass
+        assert len(closed) == 2  # the first failure didn't skip the second
+        assert out.exists()  # the chrome export still ran
+        assert trace.get_tracer() is None
+
+    def test_body_and_close_both_raise_body_error_wins(self):
+        class BadSink(InMemorySink):
+            def close(self):
+                raise OSError("close failed")
+
+        with pytest.raises(ValueError, match="body"):
+            with trace_session(sinks=[BadSink()]):
+                raise ValueError("body")
+        assert trace.get_tracer() is None

@@ -32,6 +32,18 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 
+#: Benchmarks the CI gate checks by default (invoked with no file
+#: arguments). Add new BENCH_*.json names here once a committed baseline
+#: exists; results not listed are still comparable by passing them
+#: explicitly.
+DEFAULT_GATED = (
+    "BENCH_refactor.json",
+    "BENCH_decode.json",
+    "BENCH_placement.json",
+    "BENCH_service.json",
+    "BENCH_encode_scaleout.json",
+)
+
 #: Leaf-name fragments that are *not* wall-time measurements: simulated
 #: attribution counters, estimates, and policy knobs.
 EXCLUDE_FRAGMENTS = ("sim", "est", "target", "slow", "retry")
@@ -106,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         "files",
         nargs="*",
         type=Path,
-        help="BENCH json files (default: benchmarks/results/BENCH_*.json)",
+        help="BENCH json files (default: the DEFAULT_GATED set)",
     )
     parser.add_argument(
         "--tolerance",
@@ -121,7 +133,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip baselines below this many seconds (default 0.05)",
     )
     args = parser.parse_args(argv)
-    files = args.files or sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if args.files:
+        files = args.files
+    else:
+        files = []
+        for name in DEFAULT_GATED:
+            path = RESULTS_DIR / name
+            if path.exists():
+                files.append(path)
+            else:
+                print(f"  {name}: not produced this run, skipped")
     if not files:
         print("no BENCH_*.json files found; nothing to check")
         return 0

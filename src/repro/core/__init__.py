@@ -25,6 +25,14 @@ from repro.core.decimation_plan import (
     plan_eligible,
 )
 from repro.core.delta import apply_delta, compute_delta
+from repro.core.encode_scheduler import (
+    BufferArena,
+    EncodeScheduler,
+    ScaleoutReport,
+    SchedPlane,
+    encode_campaign_scaleout,
+    fused_step_products,
+)
 from repro.core.encoder import CanopusEncoder, EncodeReport
 from repro.core.mapping import LevelMapping, build_mapping
 from repro.core.notation import (
@@ -78,4 +86,10 @@ __all__ = [
     "encode_partitioned",
     "PartitionedDecoder",
     "PartitionedReport",
+    "BufferArena",
+    "EncodeScheduler",
+    "ScaleoutReport",
+    "SchedPlane",
+    "encode_campaign_scaleout",
+    "fused_step_products",
 ]

@@ -33,8 +33,15 @@ from repro.core.decimation_plan import (
 )
 from repro.core.decoder import LevelData, PhaseTimings
 from repro.core.delta import apply_delta
+from repro.core.encode_scheduler import BufferArena, fused_step_products
 from repro.core.mapping import LevelMapping
-from repro.core.notation import LevelScheme, mapping_key, mesh_key
+from repro.core.notation import (
+    GEOM_VAR as _GEOM_VAR,
+    LevelScheme,
+    mapping_key,
+    mesh_key,
+    step_key as _step_key,
+)
 from repro.core.plan import plan_placement
 from repro.errors import CanopusError, RestorationError
 from repro.io.dataset import BPDataset
@@ -45,14 +52,6 @@ from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
 
 __all__ = ["CampaignWriter", "CampaignReader", "StepReport"]
-
-_GEOM_VAR = "geometry"
-
-
-def _step_key(var: str, step: int, level: int, kind: str) -> str:
-    if kind == "base":
-        return f"{var}/step{step}/L{level}"
-    return f"{var}/step{step}/delta{level}-{level + 1}"
 
 
 @dataclass
@@ -126,6 +125,9 @@ class CampaignWriter:
         self.workers = workers
         self._steps: list[int] = []
         self._closed = False
+        # Scratch pool for the fused serial encode path: after the
+        # first step every replay/delta buffer is a pool hit.
+        self._arena = BufferArena()
 
         # --- one-time geometry refactoring (plan-cached) ----------------
         t0 = time.perf_counter()
@@ -186,46 +188,48 @@ class CampaignWriter:
                 f"step {step}: field shape {data.shape} does not match mesh"
             )
 
-        # Data-only refactoring: replay the recorded collapse sequence on
-        # this step's values (bit-identical to re-running Algorithm 1 on
-        # them), then compute per-level deltas — overlapped on a thread
-        # pool when workers > 1.
-        t0 = time.perf_counter()
-        with trace.span(
-            "campaign.refactor", "refactor",
-            {"step": step, "workers": self.workers or 1},
-        ):
-            levels = self._geom_plan.coarsen(data)
-            deltas = self._geom_plan.deltas_for(levels, workers=self.workers)
-        refactor_seconds = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
         base_level = self.scheme.base_level
-        arrays: list[tuple[str, np.ndarray, str, int, int]] = [
-            (
-                _step_key(self.var, step, base_level, "base"),
-                levels[-1],
-                "base",
-                base_level,
-                self._plan.base_tier,
-            )
-        ]
-        for lvl in self.scheme.delta_levels():
-            arrays.append(
-                (
-                    _step_key(self.var, step, lvl, "delta"),
-                    deltas[lvl],
-                    "delta",
-                    lvl,
-                    self._plan.preferred_tier_for_delta(lvl),
+        if self.workers and self.workers > 1:
+            # Thread-overlapped staged path: replay the recorded
+            # collapse sequence (bit-identical to re-running Algorithm 1
+            # on this step's values), compute per-level deltas on a
+            # thread pool, then overlap the codec encodes.
+            t0 = time.perf_counter()
+            with trace.span(
+                "campaign.refactor", "refactor",
+                {"step": step, "workers": self.workers},
+            ):
+                levels = self._geom_plan.coarsen(data)
+                deltas = self._geom_plan.deltas_for(
+                    levels, workers=self.workers
                 )
-            )
-        with trace.span(
-            "campaign.compress", "compress",
-            {"step": step, "payloads": len(arrays),
-             "workers": self.workers or 1},
-        ):
-            if self.workers and self.workers > 1 and len(arrays) > 1:
+            refactor_seconds = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            arrays: list[tuple[str, np.ndarray, str, int, int]] = [
+                (
+                    _step_key(self.var, step, base_level, "base"),
+                    levels[-1],
+                    "base",
+                    base_level,
+                    self._plan.base_tier,
+                )
+            ]
+            for lvl in self.scheme.delta_levels():
+                arrays.append(
+                    (
+                        _step_key(self.var, step, lvl, "delta"),
+                        deltas[lvl],
+                        "delta",
+                        lvl,
+                        self._plan.preferred_tier_for_delta(lvl),
+                    )
+                )
+            with trace.span(
+                "campaign.compress", "compress",
+                {"step": step, "payloads": len(arrays),
+                 "workers": self.workers},
+            ):
                 from concurrent.futures import ThreadPoolExecutor
 
                 with ThreadPoolExecutor(
@@ -234,13 +238,44 @@ class CampaignWriter:
                     blobs = list(
                         pool.map(self._codec.encode, (a for _, a, *_ in arrays))
                     )
-            else:
-                blobs = [self._codec.encode(a) for _, a, *_ in arrays]
-        payloads = [
-            (key, blob, kind, lvl, tier)
-            for (key, _, kind, lvl, tier), blob in zip(arrays, blobs)
-        ]
-        compress_seconds = time.perf_counter() - t0
+            payloads = [
+                (key, blob, kind, lvl, tier)
+                for (key, _, kind, lvl, tier), blob in zip(arrays, blobs)
+            ]
+            compress_seconds = time.perf_counter() - t0
+        else:
+            # Fused serial path: one level in flight at a time through
+            # pooled scratch (same kernel the multiprocess scheduler's
+            # workers run), bit-identical to the staged path.
+            with trace.span(
+                "campaign.fused_encode", "refactor", {"step": step}
+            ):
+                products, fstats = fused_step_products(
+                    self._geom_plan, data, self._codec, arena=self._arena
+                )
+            refactor_seconds = (
+                fstats["replay_seconds"] + fstats["delta_seconds"]
+            )
+            compress_seconds = fstats["compress_seconds"]
+            payloads = [
+                (
+                    _step_key(self.var, step, base_level, "base"),
+                    products["base"],
+                    "base",
+                    base_level,
+                    self._plan.base_tier,
+                )
+            ]
+            for lvl in self.scheme.delta_levels():
+                payloads.append(
+                    (
+                        _step_key(self.var, step, lvl, "delta"),
+                        products[f"delta{lvl}"],
+                        "delta",
+                        lvl,
+                        self._plan.preferred_tier_for_delta(lvl),
+                    )
+                )
 
         clock = self.hierarchy.clock
         before = clock.elapsed

@@ -113,12 +113,17 @@ class DecimationPlan:
     def num_levels(self) -> int:
         return self.scheme.num_levels
 
-    def coarsen(self, data: np.ndarray) -> list[np.ndarray]:
+    def coarsen(self, data: np.ndarray, *, arena=None) -> list[np.ndarray]:
         """All level fields ``[L^0 .. L^{N−1}]`` for a new fine field.
 
         Each step is a vectorized lineage replay — bit-identical to
         running the recorded collapse sequence on ``data``. Accepts
-        ``(n,)`` or ``(planes, n)``.
+        ``(n,)`` or ``(planes, n)``. ``arena`` may supply a buffer pool
+        (``take(shape)`` / ``give(buf)``, e.g.
+        :class:`~repro.core.encode_scheduler.BufferArena`) for the
+        replay's extended-id scratch, so streaming encoders coarsen many
+        fields without per-call allocation; the level arrays themselves
+        are always fresh.
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         if data.shape[-1] != self.meshes[0].num_vertices:
@@ -128,7 +133,15 @@ class DecimationPlan:
             )
         levels = [data]
         for lineage in self.lineages:
-            levels.append(lineage.replay(levels[-1]))
+            prev = levels[-1]
+            if arena is None:
+                levels.append(lineage.replay(prev))
+                continue
+            scratch = arena.take(
+                prev.shape[:-1] + (lineage.n_fine + lineage.num_merges,)
+            )
+            levels.append(lineage.replay(prev, scratch=scratch))
+            arena.give(scratch)
         return levels
 
     def deltas_for(

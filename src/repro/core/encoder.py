@@ -34,6 +34,7 @@ from repro.core.notation import (
     mapping_key,
     mesh_key,
 )
+from repro.core.encode_scheduler import BufferArena
 from repro.core.plan import plan_placement
 from repro.core.refactor import RefactorResult, refactor
 from repro.errors import CanopusError
@@ -178,6 +179,10 @@ class CanopusEncoder:
         self.transports = transports
         self.use_plan_cache = use_plan_cache
         self.placement = placement
+        # Replay-scratch pool shared across this encoder's encode()
+        # calls: steady-state multi-variable / multi-step encodes reuse
+        # the extended-id work buffers instead of reallocating per field.
+        self._arena = BufferArena()
         # Fail fast on bad codec configuration.
         get_codec(codec, **self.codec_params)
 
@@ -213,6 +218,7 @@ class CanopusEncoder:
                 estimator=self.estimator, priority=self.priority,
                 method=self.method, workers=self.workers,
                 use_plan_cache=self.use_plan_cache,
+                arena=self._arena,
             )
         report.decimation_seconds = result.decimation_seconds
         report.delta_seconds = result.delta_seconds

@@ -23,17 +23,34 @@ from dataclasses import dataclass
 from repro.errors import CanopusError
 
 __all__ = [
+    "GEOM_VAR",
     "LevelScheme",
     "level_key",
     "delta_key",
     "mapping_key",
     "mesh_key",
     "chunk_key",
+    "step_key",
 ]
+
+#: Pseudo-variable holding a campaign's shared geometry products
+#: (level meshes + mappings, stored once per campaign dataset).
+GEOM_VAR = "geometry"
 
 
 def level_key(var: str, level: int) -> str:
     return f"{var}/L{level}"
+
+
+def step_key(var: str, step: int, level: int, kind: str) -> str:
+    """Catalog key of one campaign timestep product.
+
+    ``kind`` is ``"base"`` (level payload) or ``"delta"`` (the delta
+    lifting ``level+1 → level``).
+    """
+    if kind == "base":
+        return f"{var}/step{step}/L{level}"
+    return f"{var}/step{step}/delta{level}-{level + 1}"
 
 
 def delta_key(var: str, level: int) -> str:

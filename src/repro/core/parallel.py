@@ -21,18 +21,18 @@ rasterize the patch union.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compress import decode_auto, get_codec
+from repro.compress import decode_auto
+from repro.core.encode_scheduler import EncodeScheduler, SchedPlane
 from repro.core.mapping import LevelMapping
 from repro.core.notation import LevelScheme
-from repro.core.refactor import refactor
 from repro.errors import CanopusError, RestorationError
 from repro.io.dataset import BPDataset
-from repro.mesh.io import mesh_from_bytes, mesh_to_bytes
+from repro.mesh.io import mesh_from_bytes
 from repro.mesh.partition import MeshPartition, gather_field, partition_mesh
 from repro.mesh.triangle_mesh import TriangleMesh
 from repro.storage.hierarchy import StorageHierarchy
@@ -57,29 +57,22 @@ class PartitionedReport:
     per_part_seconds: list[float] = field(default_factory=list)
 
 
-def _encode_one_partition(args) -> tuple[int, dict, list, float]:
-    """Worker: refactor + compress one patch (no I/O, no shared state)."""
-    (index, vertices, triangles, data, num_levels, step_ratio, codec_name,
-     codec_params, estimator, priority, method) = args
-    t0 = time.perf_counter()
-    mesh = TriangleMesh(vertices, triangles, validate=False)
-    scheme = LevelScheme(num_levels, step_ratio)
-    result = refactor(mesh, data, scheme, estimator=estimator,
-                      priority=priority, method=method)
-    codec = get_codec(codec_name, **codec_params)
-    products: dict[str, bytes] = {}
-    meta: list = []
-    base_level = scheme.base_level
-    products[f"L{base_level}"] = codec.encode(result.base_field.ravel())
-    products[f"mesh{base_level}"] = mesh_to_bytes(result.base_mesh)
-    for lvl in scheme.delta_levels():
-        products[f"delta{lvl}-{lvl + 1}"] = codec.encode(
-            result.deltas[lvl].ravel()
-        )
-        products[f"mapping{lvl}"] = result.mappings[lvl].to_bytes()
-        products[f"mesh{lvl}"] = mesh_to_bytes(result.meshes[lvl])
-    meta = [m.num_vertices for m in result.meshes]
-    return index, products, meta, time.perf_counter() - t0
+class _PartitionSink:
+    """Accumulates scheduler output per patch for the one-shot writer."""
+
+    def __init__(self) -> None:
+        self.geoms: dict[int, dict] = {}
+        self.prods: dict[int, dict] = {}
+        self.stats: dict[int, dict] = {}
+
+    def geometry(self, plane_id: int, geom: dict) -> None:
+        self.geoms[plane_id] = geom
+
+    def products(
+        self, plane_id: int, step: int, products: dict, stats: dict
+    ) -> None:
+        self.prods[plane_id] = products
+        self.stats[plane_id] = stats
 
 
 def encode_partitioned(
@@ -92,6 +85,8 @@ def encode_partitioned(
     *,
     parts: int = 4,
     processes: int | None = None,
+    window: int = 4,
+    start_method: str | None = None,
     codec: str = "zfp",
     codec_params: dict | None = None,
     estimator: str = "mean",
@@ -100,13 +95,20 @@ def encode_partitioned(
 ) -> tuple[PartitionedReport, list[MeshPartition]]:
     """Partition, refactor each patch (optionally in parallel), write.
 
-    ``processes=None`` runs patches sequentially in-process;
-    ``processes=k`` uses a ``ProcessPoolExecutor`` — each worker is a
-    stand-in for one MPI rank, exchanging zero data with its peers.
-    ``method`` selects the decimation kernel per patch (``"serial"`` or
-    ``"batched"``); in-process runs additionally reuse the shared plan
-    cache, so repeated encodes of the same partitions replay instead of
-    re-decimating.
+    Patches run through the shared-memory
+    :class:`~repro.core.encode_scheduler.EncodeScheduler`: one plane per
+    patch, patch fields shipped worker-bound through windowed
+    shared-memory slots (never pickled), and each worker decimating
+    only its own patches — a stand-in for one MPI rank, exchanging zero
+    data with its peers. ``processes=None`` runs patches sequentially
+    in-process, where the shared plan cache makes repeated encodes of
+    the same partitions replay instead of re-decimating; forked workers
+    inherit that same warm cache.
+
+    ``priority`` values that are not plan-eligible (``"data_aware"``,
+    callables) decimate from geometry alone on this path — patch fields
+    stream through shared memory after plane setup, so they cannot
+    steer the collapse order.
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     if data.shape[-1] != mesh.num_vertices:
@@ -116,39 +118,33 @@ def encode_partitioned(
         )
     codec_params = dict(codec_params or {})
     if codec_params.get("mode") == "relative":
+        # Resolve against the *global* range once, so every patch (and
+        # every worker) instantiates the identical absolute codec.
         codec_params["tolerance"] = codec_params.get("tolerance", 1e-6) * max(
             float(np.ptp(data)), 1e-300
         )
         codec_params["mode"] = "absolute"
-    get_codec(codec, **codec_params)  # fail fast
 
     partitions = partition_mesh(mesh, parts)
-    jobs = [
-        (
-            p.index,
-            np.asarray(p.mesh.vertices),
-            np.asarray(p.mesh.triangles),
-            p.restrict(data),
-            scheme.num_levels,
-            scheme.step_ratio,
-            codec,
-            codec_params,
-            estimator,
-            priority,
-            method,
-        )
+    scheduler = EncodeScheduler(
+        processes=processes, window=window, start_method=start_method,
+        codec=codec, codec_params=codec_params, estimator=estimator,
+        priority=priority, method=method,
+    )
+    planes = [
+        SchedPlane(plane_id=p.index, mesh=p.mesh, scheme=scheme)
         for p in partitions
     ]
+    sink = _PartitionSink()
 
     t0 = time.perf_counter()
-    if processes is None or processes <= 1:
-        results = [_encode_one_partition(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            results = list(pool.map(_encode_one_partition, jobs))
+    scheduler.run(
+        planes,
+        ((p.index, 0, p.restrict(data)) for p in partitions),
+        sink,
+    )
     refactor_seconds = time.perf_counter() - t0
 
-    results.sort(key=lambda r: r[0])
     ds = BPDataset.create(dataset_name, hierarchy)
     ds.catalog.attrs["partitioned"] = {
         "var": var,
@@ -156,7 +152,10 @@ def encode_partitioned(
         "num_levels": scheme.num_levels,
         "step_ratio": scheme.step_ratio,
         "num_global_vertices": mesh.num_vertices,
-        "counts": {str(i): meta for i, _, meta, _ in results},
+        "counts": {
+            str(i): list(sink.geoms[i]["counts"])
+            for i in sorted(sink.geoms)
+        },
         "global_vertices": {
             str(p.index): p.global_vertices.tolist() for p in partitions
         },
@@ -166,7 +165,16 @@ def encode_partitioned(
     clock = hierarchy.clock
     before = clock.elapsed
     base_level = scheme.base_level
-    for index, products, _, _ in results:
+    for index in sorted(sink.prods):
+        geom = sink.geoms[index]
+        products = {f"L{base_level}": sink.prods[index]["base"]}
+        for lvl, blob in enumerate(geom["mesh_blobs"]):
+            products[f"mesh{lvl}"] = blob
+        for lvl in scheme.delta_levels():
+            products[f"delta{lvl}-{lvl + 1}"] = sink.prods[index][
+                f"delta{lvl}"
+            ]
+            products[f"mapping{lvl}"] = geom["mapping_blobs"][lvl]
         for suffix, blob in sorted(products.items()):
             kind = (
                 "base" if suffix == f"L{base_level}"
@@ -194,7 +202,9 @@ def encode_partitioned(
         write_seconds=write_seconds,
         compressed_bytes=compressed,
         original_bytes=int(data.nbytes),
-        per_part_seconds=[r[3] for r in results],
+        per_part_seconds=[
+            sink.stats[i]["wall_seconds"] for i in sorted(sink.stats)
+        ],
     )
     return report, partitions
 

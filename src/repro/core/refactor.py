@@ -88,6 +88,7 @@ def refactor(
     workers: int | None = None,
     plan: DecimationPlan | None = None,
     use_plan_cache: bool = True,
+    arena=None,
 ) -> RefactorResult:
     """Refactor ``(mesh, data)`` into a base + delta chain.
 
@@ -115,6 +116,11 @@ def refactor(
         consult the process-wide plan cache so repeated refactorings of
         the same mesh decimate once and replay thereafter. The replayed
         results are bit-identical to the direct path.
+    arena:
+        Optional buffer pool (``take(shape)`` / ``give(buf)``, e.g.
+        :class:`~repro.core.encode_scheduler.BufferArena`) forwarded to
+        the plan replay so streaming callers reuse scratch across
+        fields. Ignored on the direct (data-aware) path.
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     if data.ndim not in (1, 2) or data.shape[-1] != mesh.num_vertices:
@@ -135,7 +141,7 @@ def refactor(
                 mesh, scheme, method=method, priority=priority,
                 estimator=estimator,
             )
-            levels = plan.coarsen(data)
+            levels = plan.coarsen(data, arena=arena)
         t_decimate = time.perf_counter() - t0
     elif plan is not None:
         if plan.scheme != scheme:
@@ -148,7 +154,7 @@ def refactor(
             {"levels": scheme.num_levels, "method": plan.method,
              "plan": True},
         ):
-            levels = plan.coarsen(data)
+            levels = plan.coarsen(data, arena=arena)
         t_decimate = time.perf_counter() - t0
     else:
         plan = None

@@ -42,6 +42,7 @@ DEFAULT_GATED = (
     "BENCH_placement.json",
     "BENCH_service.json",
     "BENCH_encode_scaleout.json",
+    "BENCH_query.json",
 )
 
 #: Leaf-name fragments that are *not* wall-time measurements: simulated

@@ -93,22 +93,6 @@ def test_roi_region_is_exact(setup):
     assert np.allclose(roi.field[mask], full.field[mask])
 
 
-def test_statistics_pruning_report(setup, record_result):
-    _, h = setup
-    q = QueryEngine(BPDataset.open("q", h))
-    rows = []
-    for magnitude in (0.0, 1e-3, 1e-2, 1e-1):
-        kept = q.candidates_significant(magnitude, kind="delta")
-        rows.append({"min_significance": magnitude, "chunks_kept": len(kept)})
-    record_result(
-        "query_stats_pruning",
-        format_table(rows, title="Delta chunks surviving significance pruning"),
-    )
-    counts = [r["chunks_kept"] for r in rows]
-    assert counts == sorted(counts, reverse=True)
-    assert counts[-1] < counts[0]
-
-
 def test_query_benchmark(benchmark, setup):
     _, h = setup
     q = QueryEngine(BPDataset.open("q", h))

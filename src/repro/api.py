@@ -11,6 +11,9 @@ One blessed import surface for the common workflows::
   read tier (:mod:`repro.service`) run on this exact API;
 * :func:`write_campaign` — Canopus-encode a timestep series of one
   variable with shared geometry;
+* :class:`QueryPlanner` / :class:`RetrievalPlan` plus
+  :func:`stats_query` / :func:`blob_query` — accuracy-aware retrieval
+  planning and per-chunk summary pushdown (see ``docs/query.md``);
 * :func:`trace_session` — dual-clock tracing (wall + simulated I/O
   time) of everything executed inside the ``with`` block, exportable as
   Chrome trace-event JSON (see :mod:`repro.obs`).
@@ -58,7 +61,14 @@ from repro.core.restored_cache import (
     get_restored_cache,
 )
 from repro.deprecation import warn_once
-from repro.errors import BPFormatError, CanopusError
+from repro.errors import BPFormatError, CanopusError, QueryError
+from repro.query import (
+    PlanDecision,
+    QueryPlanner,
+    RetrievalPlan,
+    blob_query,
+    stats_query,
+)
 from repro.io.cache import RangeCache
 from repro.io.dataset import BPDataset
 from repro.io.engine import EngineStats, RetrievalEngine
@@ -123,10 +133,14 @@ __all__ = [
     "PartitionedDecoder",
     "PlacementEngine",
     "PlacementPlan",
+    "PlanDecision",
     "ProductSpec",
     "ProgressiveReader",
+    "QueryError",
+    "QueryPlanner",
     "RangeCache",
     "RequestTrace",
+    "RetrievalPlan",
     "RestoredLevelCache",
     "RetrievalEngine",
     "SLO",
@@ -139,6 +153,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "TriangleMesh",
+    "blob_query",
     "current_context",
     "dataset_fingerprint",
     "encode_campaign_scaleout",
@@ -149,6 +164,7 @@ __all__ = [
     "make_backend",
     "parse_config",
     "render_prometheus",
+    "stats_query",
     "two_tier_titan",
 ]
 

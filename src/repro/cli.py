@@ -144,6 +144,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arg(res)
 
+    qry = sub.add_parser(
+        "query",
+        help="accuracy-aware queries over a dataset (plan/stats/blobs)",
+    )
+    qry.add_argument("dataset")
+    qry.add_argument("--root", required=True)
+    qry.add_argument("--var", required=True)
+    qry.add_argument(
+        "--mode", choices=("plan", "stats", "blobs"), default="stats",
+        help="plan: explain a restore without executing it; stats: "
+        "pushdown min/max/mean/rms from per-chunk summaries; blobs: "
+        "summary-pruned blob detection",
+    )
+    qry.add_argument(
+        "--region", default=None,
+        help="spatial window 'x0,y0:x1,y1' (all modes)",
+    )
+    qry.add_argument(
+        "--tolerance", type=float, default=None,
+        help="RMS tolerance for --mode plan",
+    )
+    qry.add_argument(
+        "--level", type=int, default=None,
+        help="explicit level for --mode plan",
+    )
+    qry.add_argument(
+        "--min-significance", type=float, default=0.0,
+        help="bounded-lossy chunk pruning threshold for --mode plan",
+    )
+    qry.add_argument(
+        "--threshold", type=float, default=None,
+        help="field-value threshold (required for --mode blobs)",
+    )
+    qry.add_argument(
+        "--shape", default="128,128",
+        help="raster grid 'ny,nx' for --mode blobs",
+    )
+    _add_backend_arg(qry)
+
     srv = sub.add_parser(
         "serve",
         help="serve the read tier over HTTP (asyncio, multi-tenant)",
@@ -407,6 +446,60 @@ def _cmd_restore(args) -> int:
     return 0
 
 
+def _parse_cli_region(raw: str | None):
+    if not raw:
+        return None
+    lo_s, sep, hi_s = raw.partition(":")
+    if not sep:
+        raise ReproError("--region must be 'x0,y0:x1,y1'")
+    try:
+        lo = np.array([float(v) for v in lo_s.split(",")])
+        hi = np.array([float(v) for v in hi_s.split(",")])
+    except ValueError:
+        raise ReproError("--region coordinates must be numbers")
+    return lo, hi
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.session import Session
+
+    hierarchy = _hierarchy(args.root, backend=args.backend)
+    region = _parse_cli_region(args.region)
+    with Session(hierarchy) as session:
+        campaign = session.open(args.dataset)
+        if args.mode == "plan":
+            plan = campaign.plan(
+                args.var,
+                level=args.level,
+                tolerance=args.tolerance,
+                region=region,
+                min_significance=args.min_significance,
+            )
+            print(plan.explain())
+        elif args.mode == "stats":
+            result = campaign.query_stats(args.var, region=region)
+            print(json.dumps(result, indent=2))
+        else:
+            if args.threshold is None:
+                raise ReproError("query --mode blobs needs --threshold")
+            try:
+                shape = tuple(int(v) for v in args.shape.split(","))
+            except ValueError:
+                raise ReproError("--shape must be 'ny,nx' integers")
+            if len(shape) != 2:
+                raise ReproError("--shape must be 'ny,nx' integers")
+            result = campaign.query_blobs(
+                args.var,
+                threshold=args.threshold,
+                region=region,
+                shape=shape,
+            )
+            print(json.dumps(result, indent=2))
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -640,6 +733,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "fsck": _cmd_fsck,
     "restore": _cmd_restore,
+    "query": _cmd_query,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "obs": _cmd_obs,

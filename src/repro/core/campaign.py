@@ -45,6 +45,7 @@ from repro.core.notation import (
 from repro.core.plan import plan_placement
 from repro.errors import CanopusError, RestorationError
 from repro.io.dataset import BPDataset
+from repro.io.query import ChunkStats
 from repro.mesh.edge_collapse import KERNELS
 from repro.mesh.io import mesh_from_bytes, mesh_to_bytes
 from repro.mesh.triangle_mesh import TriangleMesh
@@ -238,9 +239,12 @@ class CampaignWriter:
                     blobs = list(
                         pool.map(self._codec.encode, (a for _, a, *_ in arrays))
                     )
+            # Summaries describe the pre-compression values (the bounds
+            # the retrieval planner prunes against), so compute them
+            # from the staged arrays before they are dropped.
             payloads = [
-                (key, blob, kind, lvl, tier)
-                for (key, _, kind, lvl, tier), blob in zip(arrays, blobs)
+                (key, blob, kind, lvl, tier, ChunkStats.of(arr).as_dict())
+                for (key, arr, kind, lvl, tier), blob in zip(arrays, blobs)
             ]
             compress_seconds = time.perf_counter() - t0
         else:
@@ -250,8 +254,10 @@ class CampaignWriter:
             with trace.span(
                 "campaign.fused_encode", "refactor", {"step": step}
             ):
+                summaries: dict = {}
                 products, fstats = fused_step_products(
-                    self._geom_plan, data, self._codec, arena=self._arena
+                    self._geom_plan, data, self._codec, arena=self._arena,
+                    summaries=summaries,
                 )
             refactor_seconds = (
                 fstats["replay_seconds"] + fstats["delta_seconds"]
@@ -264,6 +270,7 @@ class CampaignWriter:
                     "base",
                     base_level,
                     self._plan.base_tier,
+                    summaries.get("base"),
                 )
             ]
             for lvl in self.scheme.delta_levels():
@@ -274,17 +281,20 @@ class CampaignWriter:
                         "delta",
                         lvl,
                         self._plan.preferred_tier_for_delta(lvl),
+                        summaries.get(f"delta{lvl}"),
                     )
                 )
 
         clock = self.hierarchy.clock
         before = clock.elapsed
         total = 0
-        for key, blob, kind, lvl, tier in payloads:
-            self._dataset.write(
+        for key, blob, kind, lvl, tier, summary in payloads:
+            rec = self._dataset.write(
                 key, blob, kind=kind, level=lvl,
                 codec=self.codec_name, preferred_tier=tier,
             )
+            if summary is not None:
+                rec.attrs["stats"] = summary
             total += len(blob)
         io_seconds = clock.elapsed - before  # buffered; realized at close
 

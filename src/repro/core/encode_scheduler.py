@@ -139,7 +139,8 @@ class BufferArena:
 
 
 def fused_step_products(
-    plan, data: np.ndarray, codec, *, arena: BufferArena | None = None
+    plan, data: np.ndarray, codec, *, arena: BufferArena | None = None,
+    summaries: dict | None = None,
 ) -> tuple[dict[str, bytes], dict[str, float]]:
     """Fused decimate→delta→compress for one timestep of one plane.
 
@@ -153,12 +154,22 @@ def fused_step_products(
     payload bytes are bit-identical to the staged path: replay and
     :func:`~repro.core.delta.compute_delta` evaluate the same IEEE-754
     expressions on the same operands, pooled buffers or not.
+
+    When ``summaries`` is a dict it is filled with one
+    :meth:`~repro.io.query.ChunkStats.as_dict` per product (same keys
+    as ``products``), computed here while each level's delta is still
+    in a live buffer — the only point in the pipeline where the
+    uncompressed values exist without an extra decode. The retrieval
+    planner (:mod:`repro.query`) prunes delta levels from exactly these
+    bounds, so they must describe the *pre-compression* values.
     """
+    from repro.io.query import ChunkStats
+
     arena = arena if arena is not None else BufferArena()
     data = np.ascontiguousarray(data, dtype=np.float64)
     products: dict[str, bytes] = {}
     stats = {"replay_seconds": 0.0, "delta_seconds": 0.0,
-             "compress_seconds": 0.0}
+             "compress_seconds": 0.0, "summary_seconds": 0.0}
     fine = data
     for lvl in plan.scheme.delta_levels():
         lineage = plan.lineages[lvl]
@@ -173,13 +184,21 @@ def fused_step_products(
         delta = arena.take(fine.shape)
         compute_delta(fine, coarse, plan.mappings[lvl], out=delta)
         t2 = time.perf_counter()
+        if summaries is not None:
+            summaries[f"delta{lvl}"] = ChunkStats.of(delta).as_dict()
+        t2b = time.perf_counter()
         products[f"delta{lvl}"] = codec.encode(delta.ravel())
         t3 = time.perf_counter()
         arena.give(delta)
         stats["replay_seconds"] += t1 - t0
         stats["delta_seconds"] += t2 - t1
-        stats["compress_seconds"] += t3 - t2
+        stats["summary_seconds"] += t2b - t2
+        stats["compress_seconds"] += t3 - t2b
         fine = coarse
+    if summaries is not None:
+        t0 = time.perf_counter()
+        summaries["base"] = ChunkStats.of(fine).as_dict()
+        stats["summary_seconds"] += time.perf_counter() - t0
     t0 = time.perf_counter()
     products["base"] = codec.encode(fine.ravel())
     stats["compress_seconds"] += time.perf_counter() - t0
@@ -345,10 +364,15 @@ def _worker_main(worker_id: int, task_q, result_q, cfg: dict) -> None:
                     attached[shm_name] = _attach_shm(shm_name)
                 data = _shm_ndarray(attached[shm_name], shape, "float64")
                 t0 = time.perf_counter()
+                summaries: dict = {}
                 products, stats = fused_step_products(
-                    plan, data, codec, arena=arena
+                    plan, data, codec, arena=arena, summaries=summaries
                 )
                 stats["wall_seconds"] = time.perf_counter() - t0
+                # Summaries ride inside the stats dict so the sink
+                # protocol (geometry/products) keeps its arity for
+                # every existing sink implementation.
+                stats["summaries"] = summaries
                 del data
                 counters["tasks"] += 1
                 counters["plan_replays"] += 1
@@ -551,10 +575,12 @@ class EncodeScheduler:
                 sink.geometry(plane_id, geom)
             plan, codec = states[plane_id]
             t0 = time.perf_counter()
+            summaries: dict = {}
             products, stats = fused_step_products(
-                plan, data, codec, arena=arena
+                plan, data, codec, arena=arena, summaries=summaries
             )
             stats["wall_seconds"] = time.perf_counter() - t0
+            stats["summaries"] = summaries
             report.tasks += 1
             report.plan_replays += 1
             report._vertices += int(np.asarray(data).shape[-1])
@@ -642,13 +668,16 @@ class EncodeScheduler:
                 report.per_task_seconds.append(stats["wall_seconds"])
                 if tracer is not None:
                     end = time.perf_counter() - tracer.wall_origin
+                    span_stats = {
+                        k: v for k, v in stats.items() if k != "summaries"
+                    }
                     tracer.record_span(
                         "encode.sched.task", "refactor",
                         wall_start=end - stats["wall_seconds"],
                         wall_end=end,
                         thread=f"repro-encw-{worker_id}",
                         parent_id=parent_id,
-                        args={"plane": plane_id, "step": step, **stats},
+                        args={"plane": plane_id, "step": step, **span_stats},
                     )
                 emit_ready()
             elif kind == "geom":
@@ -793,22 +822,30 @@ class _CampaignSink:
         self, plane_id: int, step: int, products: dict, stats: dict
     ) -> None:
         _, _, _, step_key = self._keys
+        # The fused kernel ships per-product value summaries inside the
+        # stats dict; attach them to the catalog records it writes so
+        # the retrieval planner works on a cold-opened campaign.
+        summaries = stats.pop("summaries", None) or {}
         before = self.compressed_bytes
         base_level = self.scheme.base_level
         blob = products["base"]
-        self.dataset.write(
+        rec = self.dataset.write(
             step_key(self.var, step, base_level, "base"), blob,
             kind="base", level=base_level, codec=self.codec_name,
             preferred_tier=self.plan.base_tier,
         )
+        if "base" in summaries:
+            rec.attrs["stats"] = summaries["base"]
         self.compressed_bytes += len(blob)
         for lvl in self.scheme.delta_levels():
             blob = products[f"delta{lvl}"]
-            self.dataset.write(
+            rec = self.dataset.write(
                 step_key(self.var, step, lvl, "delta"), blob,
                 kind="delta", level=lvl, codec=self.codec_name,
                 preferred_tier=self.plan.preferred_tier_for_delta(lvl),
             )
+            if f"delta{lvl}" in summaries:
+                rec.attrs["stats"] = summaries[f"delta{lvl}"]
             self.compressed_bytes += len(blob)
         self.steps.append(step)
         self.step_records[step] = (self.compressed_bytes - before, stats)

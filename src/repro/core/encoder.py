@@ -249,6 +249,8 @@ class CanopusEncoder:
             codec_params["mode"] = "absolute"
         codec = get_codec(self.codec_name, **codec_params)
 
+        from repro.io.query import ChunkStats
+
         data_arr = np.asarray(data)
         planes = data_arr.shape[0] if data_arr.ndim == 2 else 0
         ds.catalog.attrs.setdefault("variables", {})[var] = {
@@ -260,6 +262,10 @@ class CanopusEncoder:
             "chunks": self.chunks,
             "planes": planes,
             "counts": [m.num_vertices for m in result.meshes],
+            # Whole-field value summary: lets aggregate predicates
+            # (min/max/mean over the full domain) answer from the
+            # catalog footer alone, with zero data I/O.
+            "field_stats": ChunkStats.of(data_arr).as_dict(),
         }
 
         # Compress every field/delta payload first — with workers > 1
@@ -330,12 +336,24 @@ class CanopusEncoder:
                         float(pts[:, 0].min()), float(pts[:, 1].min()),
                         float(pts[:, 0].max()), float(pts[:, 1].max()),
                     ]
+                    attrs = {
+                        "chunk": c, "bbox": bbox, "n_vertices": len(idx),
+                    }
+                    if lvl == 0:
+                        # Level-0 chunks partition the *original* mesh
+                        # vertices, so summarizing the input field over
+                        # this chunk's vertex set is exact — window
+                        # predicates (min/max/mean over a region) answer
+                        # from the catalog without touching data.
+                        attrs["field_stats"] = ChunkStats.of(
+                            data_arr[..., idx]
+                        ).as_dict()
                     self._put(
                         ds, report, chunk_key(var, lvl, c),
                         blobs[f"chunk{lvl}/{c}"],
                         kind="delta", level=lvl, count=piece.size,
                         codec=self.codec_name, tier=tier,
-                        attrs={"chunk": c, "bbox": bbox, "n_vertices": len(idx)},
+                        attrs=attrs,
                         values=piece,
                     )
                     self._put(

@@ -167,13 +167,18 @@ def encode_partitioned(
     base_level = scheme.base_level
     for index in sorted(sink.prods):
         geom = sink.geoms[index]
+        summaries = sink.stats[index].get("summaries") or {}
         products = {f"L{base_level}": sink.prods[index]["base"]}
+        summary_for = {f"L{base_level}": summaries.get("base")}
         for lvl, blob in enumerate(geom["mesh_blobs"]):
             products[f"mesh{lvl}"] = blob
         for lvl in scheme.delta_levels():
             products[f"delta{lvl}-{lvl + 1}"] = sink.prods[index][
                 f"delta{lvl}"
             ]
+            summary_for[f"delta{lvl}-{lvl + 1}"] = summaries.get(
+                f"delta{lvl}"
+            )
             products[f"mapping{lvl}"] = geom["mapping_blobs"][lvl]
         for suffix, blob in sorted(products.items()):
             kind = (
@@ -186,11 +191,13 @@ def encode_partitioned(
             tier = 0 if suffix.endswith(str(base_level)) else min(
                 1, len(hierarchy) - 1
             )
-            ds.write(
+            rec = ds.write(
                 f"{_part_prefix(var, index)}/{suffix}", blob,
                 kind=kind, codec=codec if kind in ("base", "delta") else "",
                 preferred_tier=tier,
             )
+            if summary_for.get(suffix) is not None:
+                rec.attrs["stats"] = summary_for[suffix]
             compressed += len(blob)
     ds.close()
     write_seconds = clock.elapsed - before

@@ -34,6 +34,7 @@ __all__ = [
     "CanopusError",
     "RefactoringError",
     "RestorationError",
+    "QueryError",
     "AnalyticsError",
     "ServiceError",
     "AuthError",
@@ -140,6 +141,15 @@ class RestorationError(CanopusError):
     """Progressive restoration failure (missing delta, level mismatch)."""
 
     code = "bad-request"
+
+
+class QueryError(RestorationError, ValueError):
+    """Malformed query shape (non-positive tolerance, empty region).
+
+    Doubly derived: callers that validate arguments catch ``ValueError``
+    as usual, while the service maps the inherited ``bad-request`` code
+    to a 400 like every other client-fault restoration error.
+    """
 
 
 class AnalyticsError(ReproError):

@@ -1,0 +1,400 @@
+"""Accuracy-aware retrieval planning from per-chunk summaries.
+
+``Session.restore(tolerance=τ)`` historically *measured* its way down
+the level chain: apply a delta, compute its RMS, stop when it drops
+below τ — paying full I/O for every level it inspected. The encoder now
+persists each product's value summary (:class:`~repro.io.query.ChunkStats`)
+in the catalog, and the first two moments aggregate exactly across
+chunks, so the RMS the progressive loop would measure after each level
+is *computable from metadata alone*:
+
+    rms(level) = sqrt( Σ vsumsq / Σ count )  over surviving chunks
+
+:class:`QueryPlanner` walks the level chain on summaries only (the
+progressive-retrieval framework of arXiv:2308.11759 — fetch exactly the
+components the requested accuracy needs), emits an explainable
+:class:`~repro.query.plan.RetrievalPlan`, then executes it: one
+``prefetch`` batch for every surviving product, one engine restore. The
+chunk-survival rules (region bounding box, ``min_significance``) are
+the same tests :meth:`CanopusDecoder._read_delta` applies, so the
+executed restore reads exactly the planned set and the result is
+bit-identical to the measure-as-you-go loop.
+
+Plans whose surviving products lack summaries come back with
+``complete=False`` — the caller falls back to the progressive loop
+(datasets written before summaries existed stay fully supported).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decode_engine import DecodeEngine
+from repro.core.decoder import LevelData
+from repro.core.notation import (
+    chunk_key,
+    delta_key,
+    level_key,
+    mapping_key,
+    mesh_key,
+)
+from repro.core.restored_cache import get_geometry_cache
+from repro.errors import QueryError, RestorationError
+from repro.io.query import ChunkStats
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+from repro.query.plan import FETCH, SKIP, PlanDecision, RetrievalPlan
+
+__all__ = ["QueryPlanner"]
+
+
+def _bump(name: str, n: int | float = 1) -> None:
+    """Count in the global registry and the active tracer's registry."""
+    get_registry().counter(name).inc(n)
+    tracer = trace.get_tracer()
+    if tracer is not None and tracer.metrics is not get_registry():
+        tracer.metrics.counter(name).inc(n)
+
+
+def normalize_region(region) -> tuple[np.ndarray, np.ndarray] | None:
+    """Validate and canonicalize a ``(lo_xy, hi_xy)`` window.
+
+    Raises :class:`QueryError` (a ``ValueError`` carrying the
+    ``bad-request`` wire code) when the window is empty — a query over
+    nothing would otherwise silently degrade to a base-only restore.
+    """
+    if region is None:
+        return None
+    lo, hi = (np.asarray(b, dtype=np.float64).ravel() for b in region)
+    if lo.shape != (2,) or hi.shape != (2,):
+        raise QueryError(
+            f"region must be ((x0, y0), (x1, y1)); got {region!r}"
+        )
+    if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+        raise QueryError(f"region bounds must be finite; got {region!r}")
+    if np.any(lo > hi):
+        raise QueryError(
+            f"empty region: lo {lo.tolist()} exceeds hi {hi.tolist()}"
+        )
+    return lo, hi
+
+
+class QueryPlanner:
+    """Plans and executes accuracy-aware restores over one engine."""
+
+    def __init__(self, engine: DecodeEngine) -> None:
+        self.engine = engine
+        self.dataset = engine.dataset
+        self.decoder = engine.decoder
+
+    # ------------------------------------------------------------------
+    def plan_restore(
+        self,
+        var: str,
+        *,
+        tolerance: float | None = None,
+        level: int | None = None,
+        region: tuple | None = None,
+        min_significance: float = 0.0,
+    ) -> RetrievalPlan:
+        """Plan one restore without touching payload bytes.
+
+        Exactly one of ``tolerance``/``level`` chooses the target (like
+        :meth:`Session.restore`; neither means full accuracy). The
+        returned plan lists every product with a fetch/skip decision;
+        ``plan.complete`` is False when summaries were missing and the
+        tolerance target could not be certified.
+        """
+        if tolerance is not None and level is not None:
+            raise RestorationError("plan takes level or tolerance, not both")
+        if tolerance is not None and tolerance <= 0:
+            raise QueryError(
+                "tolerance must be > 0 (use level=0 for full accuracy)"
+            )
+        window = normalize_region(region)
+        scheme = self.decoder.scheme(var)
+        with trace.span(
+            "query.plan", "query",
+            {"var": var,
+             "mode": "tolerance" if tolerance is not None else "level",
+             "tolerance": tolerance},
+        ):
+            plan = self._plan(
+                var, scheme, tolerance, level, window, min_significance
+            )
+        _bump("query.plan.calls")
+        return plan
+
+    def _plan(
+        self, var, scheme, tolerance, level, window, min_significance
+    ) -> RetrievalPlan:
+        base_level = scheme.base_level
+        if level is not None:
+            scheme.validate_level(int(level))
+        mode = "tolerance" if tolerance is not None else "level"
+        plan = RetrievalPlan(
+            var=var,
+            mode=mode,
+            target_level=0 if level is None else int(level),
+            tolerance=tolerance,
+            region=None if window is None else (
+                [float(v) for v in window[0]],
+                [float(v) for v in window[1]],
+            ),
+            min_significance=float(min_significance),
+        )
+
+        # Base estimate: always read (both modes start from it).
+        for key, kind in (
+            (level_key(var, base_level), "base"),
+            (mesh_key(var, base_level), "geometry"),
+        ):
+            self._decide(
+                plan, key, kind, base_level, FETCH, "base estimate"
+            )
+
+        explicit_target = plan.target_level
+        stopped_at: int | None = None
+        for lvl in range(base_level - 1, -1, -1):
+            if mode == "level" and lvl < explicit_target:
+                stopped_at = explicit_target
+                break
+            if stopped_at is not None:
+                break
+            self._decide_geometry(plan, var, lvl, FETCH, "restore chain")
+            survivors, pruned, rms = self._survey_level(
+                plan, var, lvl, window, min_significance
+            )
+            del survivors, pruned  # decisions already recorded
+            if rms is not None and not np.isnan(rms):
+                plan.level_rms[lvl] = float(rms)
+            if mode != "tolerance":
+                continue
+            if rms is None:
+                # A surviving product without a summary: the stopping
+                # rule cannot be evaluated from metadata. Plan the rest
+                # of the chain conservatively and flag the plan.
+                plan.complete = False
+                continue
+            # Mirror refine_until: stop after the first applied delta
+            # whose RMS ≤ τ; NaN (nothing survived the filter) never
+            # stops — "nothing read" must not look like convergence.
+            if not np.isnan(rms) and rms <= tolerance:
+                stopped_at = lvl
+        if mode == "tolerance":
+            plan.target_level = (
+                stopped_at if stopped_at is not None else 0
+            )
+        # Everything finer than the target is provably unnecessary.
+        reason = (
+            f"tolerance {tolerance:g} met at level {plan.target_level}"
+            if mode == "tolerance" and stopped_at is not None
+            else f"below target level {plan.target_level}"
+        )
+        for lvl in range(plan.target_level - 1, -1, -1):
+            self._decide_geometry(plan, var, lvl, SKIP, reason)
+            self._skip_level(plan, var, lvl, reason)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _meta(self, var: str) -> dict:
+        return self.decoder._var_meta(var)
+
+    def _decide(
+        self, plan, key, kind, level, action, reason
+    ) -> None:
+        if key not in self.dataset.catalog:
+            return
+        rec = self.dataset.inq(key)
+        plan.decisions.append(
+            PlanDecision(
+                key=key, kind=kind, level=level,
+                nbytes=rec.length, action=action, reason=reason,
+            )
+        )
+
+    def _decide_geometry(self, plan, var, lvl, action, reason) -> None:
+        self._decide(
+            plan, mapping_key(var, lvl), "geometry", lvl, action, reason
+        )
+        self._decide(
+            plan, mesh_key(var, lvl), "geometry", lvl, action, reason
+        )
+
+    def _level_chunks(self, var: str, lvl: int) -> int:
+        meta = self._meta(var)
+        chunks = int(meta.get("chunks", 1))
+        if chunks == 1:
+            return 1
+        return int(
+            meta.get("chunks_per_level", {}).get(str(lvl), chunks)
+        )
+
+    def _survey_level(
+        self, plan, var, lvl, window, min_significance
+    ):
+        """Fetch/skip every product of one delta level; predicted RMS.
+
+        Applies the same survival tests as
+        :meth:`CanopusDecoder._read_delta` (bounding-box intersection,
+        ``|max| >= min_significance``), so execution reads exactly this
+        set. Returns ``(survivors, pruned, rms)`` where ``rms`` is the
+        count-weighted RMS over surviving summaries, NaN when nothing
+        survives, or ``None`` when a surviving product has no summary.
+        """
+        meta = self._meta(var)
+        survivors: list = []
+        pruned: list = []
+        if int(meta.get("chunks", 1)) == 1:
+            key = delta_key(var, lvl)
+            if key not in self.dataset.catalog:
+                plan.complete = False
+                return survivors, pruned, None
+            rec = self.dataset.inq(key)
+            # Unchunked deltas cannot be pruned: the decoder always
+            # applies the whole level (region/significance only gate
+            # spatial chunks), so the RMS covers every vertex.
+            self._decide(
+                plan, key, "delta", lvl, FETCH, "whole-level delta"
+            )
+            survivors.append(rec)
+        else:
+            for c in range(self._level_chunks(var, lvl)):
+                key = chunk_key(var, lvl, c)
+                if key not in self.dataset.catalog:
+                    continue
+                rec = self.dataset.inq(key)
+                action, reason = FETCH, "chunk survives filters"
+                if window is not None:
+                    lo, hi = window
+                    x0, y0, x1, y1 = rec.attrs["bbox"]
+                    if x1 < lo[0] or x0 > hi[0] or y1 < lo[1] or y0 > hi[1]:
+                        action, reason = SKIP, "bbox outside region"
+                if action == FETCH and min_significance > 0.0:
+                    stats = rec.attrs.get("stats")
+                    if (
+                        stats is not None
+                        and stats["vabs_max"] < min_significance
+                    ):
+                        action, reason = SKIP, (
+                            f"|max| {stats['vabs_max']:.3e} < "
+                            f"min_significance {min_significance:g}"
+                        )
+                self._decide(plan, key, "chunk", lvl, action, reason)
+                self._decide(plan, key + "/idx", "index", lvl, action, reason)
+                (survivors if action == FETCH else pruned).append(rec)
+        if not survivors:
+            return survivors, pruned, float("nan")
+        parts = []
+        for rec in survivors:
+            raw = rec.attrs.get("stats")
+            if raw is None:
+                return survivors, pruned, None
+            parts.append(ChunkStats(**raw))
+        merged = ChunkStats.merge(parts)
+        rms = merged.rms if merged.count else float("nan")
+        return survivors, pruned, rms
+
+    def _skip_level(self, plan, var, lvl, reason) -> None:
+        meta = self._meta(var)
+        if int(meta.get("chunks", 1)) == 1:
+            self._decide(plan, delta_key(var, lvl), "delta", lvl, SKIP, reason)
+            return
+        for c in range(self._level_chunks(var, lvl)):
+            key = chunk_key(var, lvl, c)
+            self._decide(plan, key, "chunk", lvl, SKIP, reason)
+            self._decide(plan, key + "/idx", "index", lvl, SKIP, reason)
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: RetrievalPlan) -> LevelData:
+        """Run a plan: one batched prefetch, then one engine restore.
+
+        The prefetch moves every surviving product's bytes as a single
+        overlapped engine batch — the focused/filtered chain previously
+        paid per-level, per-chunk charges — and the restore applies the
+        same filters the plan was built with, so it consumes exactly
+        the prefetched set. Results are bit-identical to the
+        progressive loop with the same arguments.
+        """
+        window = (
+            None
+            if plan.region is None
+            else tuple(
+                np.asarray(b, dtype=np.float64) for b in plan.region
+            )
+        )
+        with trace.span(
+            "query.execute", "query",
+            {"var": plan.var, "target": plan.target_level,
+             "planned_bytes": plan.planned_bytes,
+             "pruned_chunks": plan.pruned_chunks},
+        ):
+            # Geometry already decoded into the shared cache never hits
+            # storage again — prefetching its ranges would charge the
+            # plan for bytes the restore won't read.
+            cache = (
+                get_geometry_cache() if self.decoder.share_geometry else None
+            )
+            keys = [
+                d.key
+                for d in plan.decisions
+                if d.fetched
+                and not (
+                    cache is not None
+                    and d.kind == "geometry"
+                    and cache.has(self.dataset, d.key)
+                )
+            ]
+            if keys:
+                self.dataset.prefetch(keys, label=f"{plan.var}:query_plan")
+            state = self.engine.restore(
+                plan.var,
+                plan.target_level,
+                region=window,
+                min_significance=plan.min_significance,
+            )
+        _bump("query.plan.executed")
+        _bump("query.plan.planned_bytes", plan.planned_bytes)
+        _bump("query.plan.skipped_bytes", plan.skipped_bytes)
+        _bump("query.pruned_chunks", plan.pruned_chunks)
+        _bump("query.plan.levels_skipped", len(plan.skipped_levels))
+        return state
+
+    def restore(
+        self,
+        var: str,
+        *,
+        tolerance: float | None = None,
+        level: int | None = None,
+        region: tuple | None = None,
+        min_significance: float = 0.0,
+    ) -> tuple[LevelData, RetrievalPlan]:
+        """Plan + execute in one call; returns ``(state, plan)``."""
+        plan = self.plan_restore(
+            var,
+            tolerance=tolerance,
+            level=level,
+            region=region,
+            min_significance=min_significance,
+        )
+        return self.execute(plan), plan
+
+    # ------------------------------------------------------------------
+    def note_plan(self, tracker, plan: RetrievalPlan, now: float) -> int:
+        """Feed a plan's fetched products into an access tracker.
+
+        Each fetched product bumps its *subfile* (the tier-file granule
+        :meth:`PlacementEngine.plan_replacement` weighs), closing the
+        elastic loop: delta levels that queries actually touch gain
+        replacement weight and migrate toward fast tiers. Returns the
+        number of records noted.
+        """
+        noted = 0
+        for d in plan.decisions:
+            if not d.fetched or d.key not in self.dataset.catalog:
+                continue
+            rec = self.dataset.inq(d.key)
+            if rec.subfile:
+                tracker.note(rec.subfile, now)
+                noted += 1
+        return noted

@@ -121,6 +121,17 @@ class ServiceClient:
         ]
         return "?" + "&".join(pairs) if pairs else ""
 
+    @staticmethod
+    def _region_param(region) -> str | None:
+        if region is None:
+            return None
+        lo, hi = region
+        return (
+            ",".join(repr(float(v)) for v in np.asarray(lo).ravel())
+            + ":"
+            + ",".join(repr(float(v)) for v in np.asarray(hi).ravel())
+        )
+
     # -- endpoints ------------------------------------------------------
     async def healthz(self) -> bool:
         resp = await self._get("/healthz")
@@ -158,13 +169,7 @@ class ServiceClient:
             "min_significance": min_significance or None,
             "cursor": cursor,
         }
-        if region is not None:
-            lo, hi = region
-            params["region"] = (
-                ",".join(repr(float(v)) for v in np.asarray(lo).ravel())
-                + ":"
-                + ",".join(repr(float(v)) for v in np.asarray(hi).ravel())
-            )
+        params["region"] = self._region_param(region)
         headers = {}
         if if_none_match:
             headers["if-none-match"] = f'"{if_none_match}"'
@@ -197,6 +202,80 @@ class ServiceClient:
         )
         _raise_for(resp)
         return resp.parsed_json()["chunks"]
+
+    async def plan(
+        self,
+        name: str,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region=None,
+        min_significance: float = 0.0,
+    ) -> dict:
+        """Explain a restore without executing it (the retrieval plan)."""
+        resp = await self._get(
+            f"/v1/campaigns/{name}/vars/{var}/plan"
+            + self._query(
+                {
+                    "level": level,
+                    "tolerance": tolerance,
+                    "min_significance": min_significance or None,
+                    "region": self._region_param(region),
+                }
+            )
+        )
+        _raise_for(resp)
+        return resp.parsed_json()["plan"]
+
+    async def query_stats(
+        self, name: str, var: str, *, region=None
+    ) -> dict:
+        """Pushdown aggregate statistics over an optional region.
+
+        Executes against per-chunk summaries inside the data node —
+        a pruned/summarized query ships no field bytes at all.
+        """
+        resp = await self._get(
+            "/v1/query/stats"
+            + self._query(
+                {
+                    "campaign": name,
+                    "var": var,
+                    "region": self._region_param(region),
+                }
+            )
+        )
+        _raise_for(resp)
+        return resp.parsed_json()
+
+    async def query_blobs(
+        self,
+        name: str,
+        var: str,
+        *,
+        threshold: float,
+        region=None,
+        shape: tuple[int, int] | None = None,
+    ) -> dict:
+        """Pushdown blob detection above a field-value threshold."""
+        resp = await self._get(
+            "/v1/query/blobs"
+            + self._query(
+                {
+                    "campaign": name,
+                    "var": var,
+                    "threshold": repr(float(threshold)),
+                    "region": self._region_param(region),
+                    "shape": (
+                        None if shape is None
+                        else ",".join(str(int(v)) for v in shape)
+                    ),
+                }
+            )
+        )
+        _raise_for(resp)
+        return resp.parsed_json()
 
     async def read_raw(
         self,

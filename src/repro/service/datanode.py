@@ -40,6 +40,7 @@ import asyncio
 import contextvars
 import hashlib
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -57,8 +58,20 @@ from repro.obs import trace
 from repro.service.tenants import TenantConfig, TenantRegistry
 from repro.session import CampaignHandle, Session
 from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.policy import AccessTracker
 
 __all__ = ["DataNode", "RestoreResult"]
+
+
+def _region_json(region) -> list | None:
+    """JSON-ready ``[[lo...], [hi...]]`` form of a region window."""
+    if region is None:
+        return None
+    lo, hi = region
+    return [
+        [float(v) for v in np.asarray(lo, dtype=np.float64).ravel()],
+        [float(v) for v in np.asarray(hi, dtype=np.float64).ravel()],
+    ]
 
 
 def _filter_digest(region, min_significance: float) -> str:
@@ -138,6 +151,14 @@ class DataNode:
         )
         self._open_lock = threading.Lock()
         self._closed = False
+        # Elastic feedback: every served read/query heats the subfiles
+        # its retrieval plan touched, so PlacementEngine.plan_replacement
+        # over this tracker promotes exactly the delta levels the query
+        # workload reaches. The shape log keeps the recent query mix
+        # (var, region, achieved level) inspectable via /v1/metrics.
+        self.tracker = AccessTracker()
+        self._query_log: deque = deque(maxlen=256)
+        self._query_lock = threading.Lock()
         # Attribute simulated read seconds to the tenant carried by the
         # active trace context (see _run). Charges from contexts without
         # a tenant (e.g. in-process library use) are left unattributed.
@@ -236,6 +257,47 @@ class DataNode:
                 f"{handle.fingerprint[:12]!r}; re-open the campaign"
             )
 
+    # -- elastic feedback ----------------------------------------------
+    def _note_query(
+        self,
+        handle: CampaignHandle,
+        var: str,
+        *,
+        level: int,
+        region=None,
+        min_significance: float = 0.0,
+        shape: dict | None = None,
+    ) -> None:
+        """Record one served query shape and heat its plan's subfiles.
+
+        Feedback must never fail a read: plan construction here is
+        metadata-only and advisory, so any error is swallowed (the
+        response the tenant paid for has already been computed).
+        """
+        try:
+            plan = handle.plan(
+                var,
+                level=level,
+                region=region,
+                min_significance=min_significance,
+            )
+            noted = handle.planner.note_plan(
+                self.tracker, plan, now=self.hierarchy.clock.elapsed
+            )
+        except Exception:  # noqa: BLE001 — advisory path only
+            return
+        entry = {
+            "campaign": handle.name,
+            "var": var,
+            "level": int(level),
+            "region": _region_json(region),
+            "subfiles_noted": noted,
+        }
+        if shape:
+            entry.update(shape)
+        with self._query_lock:
+            self._query_log.append(entry)
+
     # -- reads ----------------------------------------------------------
     async def restore(
         self,
@@ -289,6 +351,16 @@ class DataNode:
                     region=region,
                     min_significance=min_significance,
                 )
+            self._note_query(
+                handle, var,
+                level=state.level,
+                region=region,
+                min_significance=min_significance,
+                shape={
+                    "mode": "tolerance" if tolerance is not None else "level",
+                    "tolerance": tolerance,
+                },
+            )
             out_cursor = self.cursor_for(
                 handle, var, state.level,
                 region=region, min_significance=min_significance,
@@ -311,6 +383,77 @@ class DataNode:
             return self._handle(name).stats(var, level=level)
 
         return await self._run(_stats, tenant=tenant)
+
+    # -- pushdown queries ----------------------------------------------
+    async def plan(
+        self,
+        name: str,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region=None,
+        min_significance: float = 0.0,
+        tenant: TenantConfig | None = None,
+    ) -> dict:
+        """Explain (without executing) one retrieval — plan as JSON."""
+
+        def _plan() -> dict:
+            return self._handle(name).plan(
+                var,
+                level=level,
+                tolerance=tolerance,
+                region=region,
+                min_significance=min_significance,
+            ).to_dict()
+
+        return await self._run(_plan, tenant=tenant)
+
+    async def query_stats(
+        self,
+        name: str,
+        var: str,
+        *,
+        region=None,
+        tenant: TenantConfig | None = None,
+    ) -> dict:
+        """Pushdown aggregate statistics, executed near the bytes."""
+
+        def _query() -> dict:
+            handle = self._handle(name)
+            result = handle.query_stats(var, region=region)
+            self._note_query(
+                handle, var, level=0, region=region,
+                shape={"mode": "stats"},
+            )
+            return result
+
+        return await self._run(_query, tenant=tenant)
+
+    async def query_blobs(
+        self,
+        name: str,
+        var: str,
+        *,
+        threshold: float,
+        region=None,
+        shape: tuple[int, int] = (128, 128),
+        tenant: TenantConfig | None = None,
+    ) -> dict:
+        """Pushdown blob detection, executed near the bytes."""
+
+        def _query() -> dict:
+            handle = self._handle(name)
+            result = handle.query_blobs(
+                var, threshold=threshold, region=region, shape=shape
+            )
+            self._note_query(
+                handle, var, level=0, region=region,
+                shape={"mode": "blobs", "threshold": float(threshold)},
+            )
+            return result
+
+        return await self._run(_query, tenant=tenant)
 
     async def read_raw(
         self,
@@ -345,10 +488,19 @@ class DataNode:
     def metrics(self) -> dict:
         """Aggregate data-node view for the /v1/metrics endpoint."""
         cache = get_restored_cache()
+        with self._query_lock:
+            query_log = list(self._query_log)
         return {
             "campaigns": self.session.campaigns,
             "engine": self.session.stats(),
             "restored_cache": cache.stats(),
+            "query": {
+                "log": query_log,
+                "tracked_subfiles": len(self.tracker.records),
+                "tracked_reads": sum(
+                    info.reads for info in self.tracker.records.values()
+                ),
+            },
             "executor": {
                 "workers": self.executor_workers,
                 "queued_slots_free": getattr(self._slots, "_value", None),

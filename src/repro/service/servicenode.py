@@ -15,7 +15,10 @@ Endpoints (all under ``/v1`` except the health probe):
 ``GET  /v1/campaigns/{name}``                         describe (idempotent)
 ``GET  .../vars/{var}/restore?level=|tolerance=``     restore (npy body)
 ``GET  .../vars/{var}/stats?level=``                  per-chunk summaries
+``GET  .../vars/{var}/plan?level=|tolerance=``        explain the retrieval
 ``GET  .../raw/{key}?start=&length=``                 ranged raw product
+``GET  /v1/query/stats?campaign=&var=[&region=]``     pushdown statistics
+``GET  /v1/query/blobs?campaign=&var=&threshold=``    pushdown blob detect
 ``GET  /v1/metrics[?format=prometheus]``              obs + tenant usage
 ``GET  /v1/traces?limit=``                            kept trace summaries
 ``GET  /v1/trace/{id}``                               one full span tree
@@ -108,6 +111,27 @@ def _parse_region(query: dict) -> tuple[np.ndarray, np.ndarray] | None:
     if lo.shape != hi.shape or lo.size == 0:
         raise RestorationError("region lo/hi must have the same length")
     return lo, hi
+
+
+def _parse_shape(query: dict) -> tuple[int, int]:
+    """``shape=ny,nx`` raster grid (defaults to 128x128)."""
+    raw = query.get("shape")
+    if raw is None or raw == "":
+        return (128, 128)
+    try:
+        dims = tuple(int(v) for v in raw.split(","))
+    except ValueError:
+        raise RestorationError("shape must be 'ny,nx' integers")
+    if len(dims) != 2 or any(d < 1 for d in dims):
+        raise RestorationError("shape must be two positive integers")
+    return dims
+
+
+def _require_param(query: dict, name: str) -> str:
+    value = query.get(name)
+    if not value:
+        raise RestorationError(f"query param {name!r} is required")
+    return value
 
 
 def _npy_bytes(array: np.ndarray) -> bytes:
@@ -282,6 +306,9 @@ class ServiceNode:
             return "/v1/traces"
         if rest[:1] == ["trace"]:
             return "/v1/trace/{id}"
+        if rest[:1] == ["query"] and len(rest) == 2:
+            if rest[1] in ("stats", "blobs"):
+                return f"/v1/query/{rest[1]}"
         if rest[:1] == ["campaigns"] and len(rest) >= 2:
             tail = rest[2:]
             if tail == ["open"]:
@@ -292,6 +319,8 @@ class ServiceNode:
                 return "/v1/campaigns/{name}/vars/{var}/restore"
             if len(tail) == 3 and tail[0] == "vars" and tail[2] == "stats":
                 return "/v1/campaigns/{name}/vars/{var}/stats"
+            if len(tail) == 3 and tail[0] == "vars" and tail[2] == "plan":
+                return "/v1/campaigns/{name}/vars/{var}/plan"
             if tail[:1] == ["raw"]:
                 return "/v1/campaigns/{name}/raw/{key}"
         return "other"
@@ -327,6 +356,11 @@ class ServiceNode:
             return self._traces(request)
         if len(parts) == 3 and parts[1] == "trace" and request.method == "GET":
             return self._trace(parts[2])
+        if len(parts) == 3 and parts[1] == "query" and request.method == "GET":
+            if parts[2] == "stats":
+                return await self._query_stats(request, tenant)
+            if parts[2] == "blobs":
+                return await self._query_blobs(request, tenant)
         if len(parts) >= 3 and parts[1] == "campaigns":
             name = parts[2]
             rest = parts[3:]
@@ -348,6 +382,13 @@ class ServiceNode:
                 and request.method == "GET"
             ):
                 return await self._stats(request, name, rest[1], tenant)
+            if (
+                len(rest) == 3
+                and rest[0] == "vars"
+                and rest[2] == "plan"
+                and request.method == "GET"
+            ):
+                return await self._plan(request, name, rest[1], tenant)
             if len(rest) >= 2 and rest[0] == "raw" and request.method == "GET":
                 key = "/".join(rest[1:])
                 return await self._raw(request, name, key, tenant)
@@ -425,6 +466,55 @@ class ServiceNode:
             name, var, level=level, tenant=tenant
         )
         return Response.json({"campaign": name, "var": var, "chunks": rows})
+
+    async def _plan(
+        self, request: Request, name: str, var: str, tenant: TenantConfig
+    ) -> Response:
+        level = _parse_int(request.query, "level")
+        tolerance = _parse_float(request.query, "tolerance")
+        min_significance = _parse_float(request.query, "min_significance") or 0.0
+        region = _parse_region(request.query)
+        plan = await self.datanode.plan(
+            name,
+            var,
+            level=level,
+            tolerance=tolerance,
+            region=region,
+            min_significance=min_significance,
+            tenant=tenant,
+        )
+        return Response.json({"campaign": name, "plan": plan})
+
+    async def _query_stats(
+        self, request: Request, tenant: TenantConfig
+    ) -> Response:
+        name = _require_param(request.query, "campaign")
+        var = _require_param(request.query, "var")
+        region = _parse_region(request.query)
+        result = await self.datanode.query_stats(
+            name, var, region=region, tenant=tenant
+        )
+        return Response.json({"campaign": name, **result})
+
+    async def _query_blobs(
+        self, request: Request, tenant: TenantConfig
+    ) -> Response:
+        name = _require_param(request.query, "campaign")
+        var = _require_param(request.query, "var")
+        threshold = _parse_float(request.query, "threshold")
+        if threshold is None:
+            raise RestorationError("query param 'threshold' is required")
+        region = _parse_region(request.query)
+        shape = _parse_shape(request.query)
+        result = await self.datanode.query_blobs(
+            name,
+            var,
+            threshold=threshold,
+            region=region,
+            shape=shape,
+            tenant=tenant,
+        )
+        return Response.json({"campaign": name, **result})
 
     async def _raw(
         self, request: Request, name: str, key: str, tenant: TenantConfig

@@ -40,7 +40,7 @@ from repro.core.decoder import LevelData
 from repro.core.notation import LevelScheme
 from repro.core.progressive import ProgressiveReader
 from repro.core.restored_cache import dataset_fingerprint
-from repro.errors import RestorationError, VariableNotFoundError
+from repro.errors import QueryError, RestorationError, VariableNotFoundError
 from repro.io.dataset import BPDataset
 from repro.obs import trace
 from repro.storage.hierarchy import StorageHierarchy
@@ -148,6 +148,16 @@ class CampaignHandle:
             pipeline=session.pipeline,
             lookahead=session.lookahead,
         )
+        self._planner = None
+
+    @property
+    def planner(self):
+        """Lazy accuracy-aware retrieval planner over this handle."""
+        if self._planner is None:
+            from repro.query import QueryPlanner
+
+            self._planner = QueryPlanner(self.engine)
+        return self._planner
 
     # -- metadata -------------------------------------------------------
     @property
@@ -205,25 +215,47 @@ class CampaignHandle:
         """Restore one variable by level or by accuracy.
 
         Exactly one of ``level``/``tolerance`` may be given (neither
-        means full accuracy, level 0). ``tolerance`` refines
-        progressively until the applied delta's RMS drops below it —
-        the accuracy-aware endpoint of the progressive-retrieval
-        framework: only the components the requested accuracy needs are
-        fetched. ``region``/``min_significance`` select focused /
+        means full accuracy, level 0). ``tolerance`` refines to the
+        accuracy-aware endpoint of the progressive-retrieval framework:
+        the :class:`~repro.query.QueryPlanner` certifies the stopping
+        level from per-chunk summaries and fetches only the delta set
+        that accuracy needs (datasets without summaries fall back to
+        the measure-as-you-go progressive loop — same result, level by
+        level). ``region``/``min_significance`` select focused /
         bounded-lossy retrieval and compose with both modes.
+
+        Raises :class:`~repro.errors.QueryError` (a ``ValueError``
+        mapping to HTTP 400) for ``tolerance <= 0`` or an empty
+        ``region`` — both previously degraded to a silent
+        full-accuracy loop.
         """
         self._require_var(var)
         if level is not None and tolerance is not None:
             raise RestorationError(
                 "restore takes level or tolerance, not both"
             )
+        if region is not None:
+            from repro.query import normalize_region
+
+            region = normalize_region(region)
         if tolerance is not None:
-            if tolerance < 0:
-                raise RestorationError("tolerance must be >= 0")
+            if tolerance <= 0:
+                raise QueryError(
+                    "tolerance must be > 0 (use level=0 for full accuracy)"
+                )
             with trace.span(
                 "session.restore", "session",
                 {"campaign": self.name, "var": var, "tolerance": tolerance},
             ):
+                plan = self.planner.plan_restore(
+                    var,
+                    tolerance=tolerance,
+                    region=region,
+                    min_significance=min_significance,
+                )
+                if plan.complete:
+                    return self.planner.execute(plan)
+                # No summaries to certify from: measure level by level.
                 reader = ProgressiveReader(
                     self.engine.decoder,
                     var,
@@ -266,6 +298,52 @@ class CampaignHandle:
                 variables, level,
                 region=region, min_significance=min_significance,
             )
+
+    # -- accuracy-aware queries ----------------------------------------
+    def plan(
+        self,
+        var: str,
+        *,
+        level: int | None = None,
+        tolerance: float | None = None,
+        region: tuple[np.ndarray, np.ndarray] | None = None,
+        min_significance: float = 0.0,
+    ):
+        """Build (without executing) the retrieval plan for a restore.
+
+        Metadata-only: returns the explainable
+        :class:`~repro.query.RetrievalPlan` that :meth:`restore` would
+        execute — which products it will fetch, which it proved it can
+        skip, and the certified target level.
+        """
+        self._require_var(var)
+        return self.planner.plan_restore(
+            var,
+            level=level,
+            tolerance=tolerance,
+            region=region,
+            min_significance=min_significance,
+        )
+
+    def query_stats(self, var: str, *, region=None) -> dict:
+        """Pushdown aggregate statistics (see :func:`repro.query.stats_query`)."""
+        self._require_var(var)
+        from repro.query import stats_query
+
+        return stats_query(self.engine, var, region=region)
+
+    def query_blobs(
+        self, var: str, *, threshold: float, region=None,
+        shape: tuple[int, int] = (128, 128),
+    ) -> dict:
+        """Pushdown blob detection (see :func:`repro.query.blob_query`)."""
+        self._require_var(var)
+        from repro.query import blob_query
+
+        return blob_query(
+            self.engine, var, threshold=threshold, region=region,
+            shape=shape,
+        )
 
     # -- near-data summaries -------------------------------------------
     def stats(

@@ -1,0 +1,411 @@
+"""Accuracy-aware retrieval planner + summary pushdown (repro.query).
+
+Everything here runs against a *cold-opened* dataset: the campaign is
+encoded, closed, and re-opened from the catalog, so every summary the
+planner consumes must have survived the catalog round-trip (the
+sidecar-metadata contract of the paper's §III-C). Covers:
+
+* :class:`ChunkStats` NaN safety and exact chunk merging;
+* :class:`QueryEngine` predicates over the persisted summaries;
+* :class:`QueryPlanner` — certified stopping levels, bit-identity with
+  the measure-as-you-go progressive loop, chunk pruning, explainable
+  plans, and the no-summaries fallback;
+* query-shape validation (:class:`QueryError` for bad tolerance/region);
+* pushdown statistics/blob queries with zero restores on pruned paths;
+* the elastic feedback loop: ``note_plan`` → ``AccessTracker`` →
+  ``PlacementEngine.plan_replacement``.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CanopusEncoder, LevelScheme
+from repro.core.decode_engine import DecodeEngine
+from repro.core.progressive import ProgressiveReader
+from repro.core.restored_cache import get_geometry_cache, get_restored_cache
+from repro.errors import QueryError, RestorationError
+from repro.io import BPDataset
+from repro.io.query import ChunkStats, QueryEngine
+from repro.query import (
+    QueryPlanner,
+    RetrievalPlan,
+    blob_query,
+    normalize_region,
+    stats_query,
+)
+from repro.session import Session
+from repro.simulations import make_xgc1
+from repro.storage import two_tier_titan
+from repro.storage.placement import PlacementEngine
+from repro.storage.policy import AccessTracker
+
+CHUNKS = 16
+LEVELS = 3
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """Encoded + closed + cold-reopened XGC1 campaign."""
+    ds = make_xgc1(scale=0.4)
+    h = two_tier_titan(
+        tmp_path_factory.mktemp("planner"), fast_capacity=32 << 20,
+        slow_capacity=1 << 34,
+    )
+    enc = CanopusEncoder(
+        h, codec="zfp", codec_params={"tolerance": 1e-4, "mode": "relative"},
+        chunks=CHUNKS,
+    )
+    enc.encode("q", "dpot", ds.mesh, ds.field, LevelScheme(LEVELS))
+    get_restored_cache().clear()
+    get_geometry_cache().clear()
+    yield ds, h
+    get_restored_cache().clear()
+    get_geometry_cache().clear()
+
+
+@pytest.fixture()
+def engine(campaign):
+    _, h = campaign
+    dataset = BPDataset.open("q", h)
+    engine = DecodeEngine(dataset, use_restored_cache=False)
+    yield engine
+    dataset.close()
+
+
+def _roi(ds, half):
+    center = ds.mesh.vertices[int(np.argmax(ds.field))]
+    return center - half, center + half
+
+
+# ---------------------------------------------------------------------------
+class TestChunkStats:
+    def test_nan_values_are_excluded(self):
+        values = np.array([1.0, np.nan, -3.0, np.inf, 2.0, -np.inf])
+        stats = ChunkStats.of(values)
+        assert stats.vmin == -3.0
+        assert stats.vmax == 2.0
+        assert stats.vabs_max == 3.0
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.0)
+        assert stats.rms == pytest.approx(math.sqrt(14.0 / 3.0))
+
+    def test_all_nan_chunk_reports_empty(self):
+        stats = ChunkStats.of(np.full(8, np.nan))
+        assert stats.count == 0
+        assert stats.vmin == stats.vmax == stats.vabs_max == 0.0
+        assert stats.mean == 0.0 and stats.rms == 0.0
+
+    def test_merge_equals_concatenation(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(100), rng.standard_normal(37) * 5
+        merged = ChunkStats.merge([ChunkStats.of(a), ChunkStats.of(b)])
+        whole = ChunkStats.of(np.concatenate([a, b]))
+        for field in ("vmin", "vmax", "vabs_max", "count"):
+            assert getattr(merged, field) == getattr(whole, field)
+        assert merged.rms == pytest.approx(whole.rms)
+        assert merged.mean == pytest.approx(whole.mean)
+
+    def test_merge_ignores_empty_parts(self):
+        a = ChunkStats.of(np.array([1.0, 2.0]))
+        empty = ChunkStats.of(np.full(4, np.nan))
+        merged = ChunkStats.merge([a, empty])
+        assert merged.count == 2 and merged.vmax == 2.0
+
+    def test_legacy_three_field_summaries_deserialize(self):
+        raw = {"vmin": -1.0, "vmax": 2.0, "vabs_max": 2.0}
+        stats = ChunkStats(**raw)
+        assert stats.count == 0
+        assert stats.rms == 0.0
+
+
+# ---------------------------------------------------------------------------
+class TestQueryEngineCold:
+    """Predicates over the cold-opened catalog (no data I/O at all)."""
+
+    def test_candidates_above_prunes_provably_low_chunks(self, campaign):
+        ds, h = campaign
+        q = QueryEngine(BPDataset.open("q", h))
+        everything = q.candidates_above(-np.inf, kind="delta")
+        nothing = q.candidates_above(np.inf, kind="delta")
+        mid = q.candidates_above(
+            float(np.quantile(ds.field, 0.99)) * 0.01, kind="delta"
+        )
+        assert everything and not nothing
+        assert set(nothing) <= set(mid) <= set(everything)
+
+    def test_candidates_significant_monotone(self, campaign):
+        _, h = campaign
+        q = QueryEngine(BPDataset.open("q", h))
+        counts = [
+            len(q.candidates_significant(m, kind="delta"))
+            for m in (0.0, 1e-3, 1e-2, 1e-1)
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] < counts[0]
+
+    def test_prune_report_accounts_bytes(self, campaign):
+        ds, h = campaign
+        q = QueryEngine(BPDataset.open("q", h))
+        report = q.prune_report(float(ds.field.max()) * 2, kind="delta")
+        assert report["kept_products"] < report["total_products"]
+        assert report["kept_bytes"] < report["total_bytes"]
+
+    def test_every_payload_product_has_a_summary(self, campaign):
+        _, h = campaign
+        dataset = BPDataset.open("q", h)
+        for key in dataset.keys():
+            rec = dataset.inq(key)
+            if rec.kind in ("base", "delta", "chunk"):
+                stats = rec.attrs.get("stats")
+                assert stats is not None, key
+                assert stats["count"] > 0
+
+
+# ---------------------------------------------------------------------------
+class TestPlanner:
+    def test_certified_target_matches_progressive_loop(self, campaign, engine):
+        planner = QueryPlanner(engine)
+        plan = planner.plan_restore("dpot", tolerance=1e-3)
+        assert plan.complete and plan.mode == "tolerance"
+        reader = ProgressiveReader(engine.decoder, "dpot")
+        legacy = reader.refine_until(rms_tolerance=1e-3, max_level=0)
+        assert plan.target_level == legacy.level
+
+    def test_bit_identity_unfiltered(self, campaign, engine):
+        state, plan = QueryPlanner(engine).restore("dpot", tolerance=1e-3)
+        fresh = DecodeEngine(engine.dataset, use_restored_cache=False)
+        legacy = ProgressiveReader(fresh.decoder, "dpot").refine_until(
+            rms_tolerance=1e-3, max_level=0
+        )
+        assert state.level == legacy.level
+        assert np.array_equal(state.field, legacy.field)
+        assert state.last_delta_rms == legacy.last_delta_rms
+
+    def test_met_tolerance_stops_early_within_bound(self, campaign, engine):
+        planner = QueryPlanner(engine)
+        # Pick a tolerance the coarsest refinement provably satisfies.
+        coarse = planner.plan_restore("dpot", tolerance=1e-6)
+        base_level = engine.decoder.scheme("dpot").base_level
+        tol = coarse.level_rms[base_level - 1] * 1.01
+        state, plan = planner.restore("dpot", tolerance=tol)
+        assert plan.target_level == base_level - 1
+        assert state.level == base_level - 1
+        assert state.last_delta_rms <= tol
+        fresh = DecodeEngine(engine.dataset, use_restored_cache=False)
+        legacy = ProgressiveReader(fresh.decoder, "dpot").refine_until(
+            rms_tolerance=tol, max_level=0
+        )
+        assert np.array_equal(state.field, legacy.field)
+
+    def test_bit_identity_with_region(self, campaign, engine):
+        ds, _ = campaign
+        region = _roi(ds, 0.3)
+        state, plan = QueryPlanner(engine).restore(
+            "dpot", tolerance=1e-3, region=region
+        )
+        fresh = DecodeEngine(engine.dataset, use_restored_cache=False)
+        legacy = ProgressiveReader(fresh.decoder, "dpot").refine_until(
+            rms_tolerance=1e-3, max_level=0, region=region
+        )
+        assert np.array_equal(state.field, legacy.field)
+        assert plan.pruned_chunks > 0
+
+    def test_exact_level_plan_is_bit_identical(self, campaign, engine):
+        planner = QueryPlanner(engine)
+        state, plan = planner.restore("dpot", level=0)
+        fresh = DecodeEngine(engine.dataset, use_restored_cache=False)
+        full = fresh.restore("dpot", 0)
+        assert np.array_equal(state.field, full.field)
+        assert plan.mode == "level" and plan.skipped_bytes == 0
+
+    def test_loose_tolerance_skips_finer_levels(self, campaign, engine):
+        planner = QueryPlanner(engine)
+        loose = planner.plan_restore("dpot", tolerance=10.0)
+        tight = planner.plan_restore("dpot", tolerance=1e-6)
+        assert loose.target_level > 0
+        assert loose.skipped_levels
+        assert loose.planned_bytes < tight.planned_bytes
+        skipped_keys = {
+            d.key for d in loose.decisions if not d.fetched
+        }
+        assert not skipped_keys & set(loose.fetch_keys())
+
+    def test_plan_is_explainable_and_serializable(self, campaign, engine):
+        ds, _ = campaign
+        plan = QueryPlanner(engine).plan_restore(
+            "dpot", tolerance=1e-3, region=_roi(ds, 0.2)
+        )
+        text = plan.explain()
+        assert "retrieval plan for 'dpot'" in text
+        assert "bbox outside region" in text
+        doc = json.loads(json.dumps(plan.to_dict()))
+        assert doc["pruned_chunks"] == plan.pruned_chunks
+        assert doc["planned_bytes"] == plan.planned_bytes
+        assert len(doc["decisions"]) == len(plan.decisions)
+
+    def test_missing_summaries_fall_back(self, campaign):
+        _, h = campaign
+        dataset = BPDataset.open("q", h)
+        try:
+            for key in dataset.keys():
+                dataset.inq(key).attrs.pop("stats", None)
+            engine = DecodeEngine(dataset, use_restored_cache=False)
+            plan = QueryPlanner(engine).plan_restore("dpot", tolerance=1e-3)
+            assert not plan.complete
+        finally:
+            dataset.close()
+
+    def test_session_restore_uses_planner_and_falls_back(self, campaign):
+        _, h = campaign
+        with Session(h, use_restored_cache=False) as session:
+            handle = session.open("q")
+            planned = handle.restore("dpot", tolerance=1e-3)
+            # Strip the summaries: the same call must route through the
+            # measure-as-you-go loop and produce the same field.
+            for key in handle.dataset.keys():
+                handle.dataset.inq(key).attrs.pop("stats", None)
+            assert not handle.plan("dpot", tolerance=1e-3).complete
+            legacy = handle.restore("dpot", tolerance=1e-3)
+            assert np.array_equal(planned.field, legacy.field)
+
+
+# ---------------------------------------------------------------------------
+class TestValidation:
+    def test_non_positive_tolerance_rejected(self, campaign):
+        _, h = campaign
+        with Session(h) as session:
+            handle = session.open("q")
+            for bad in (0.0, -1.0):
+                with pytest.raises(QueryError):
+                    handle.restore("dpot", tolerance=bad)
+
+    def test_query_error_is_a_value_error_with_400_code(self):
+        from repro.errors import error_code, http_status
+
+        exc = QueryError("nope")
+        assert isinstance(exc, ValueError)
+        assert error_code(exc) == "bad-request"
+        assert http_status(exc) == 400
+
+    def test_empty_region_rejected(self, campaign):
+        _, h = campaign
+        with Session(h) as session:
+            handle = session.open("q")
+            with pytest.raises(QueryError):
+                handle.restore("dpot", region=((5.0, 5.0), (1.0, 1.0)))
+            with pytest.raises(QueryError):
+                handle.restore("dpot", region=((0.0,), (1.0,)))
+            with pytest.raises(QueryError):
+                handle.restore(
+                    "dpot", region=((np.nan, 0.0), (1.0, 1.0))
+                )
+
+    def test_normalize_region_passthrough(self):
+        assert normalize_region(None) is None
+        lo, hi = normalize_region(((0, 0), (1, 1)))
+        assert lo.dtype == np.float64 and hi.shape == (2,)
+
+    def test_level_and_tolerance_conflict(self, campaign, engine):
+        with pytest.raises(RestorationError):
+            QueryPlanner(engine).plan_restore("dpot", level=1, tolerance=0.1)
+
+
+# ---------------------------------------------------------------------------
+class TestPushdown:
+    def test_whole_variable_stats_zero_restores(self, campaign, engine):
+        ds, h = campaign
+        before = h.clock.bytes_moved(op="read")
+        result = stats_query(engine, "dpot")
+        assert result["pushdown"] is True and result["restores"] == 0
+        assert h.clock.bytes_moved(op="read") == before
+        assert result["stats"]["vmax"] == pytest.approx(float(ds.field.max()))
+        assert result["stats"]["vmin"] == pytest.approx(float(ds.field.min()))
+        assert result["stats"]["mean"] == pytest.approx(float(ds.field.mean()))
+        assert result["stats"]["count"] == ds.field.size
+
+    def test_windowed_stats_prune_without_restores(self, campaign, engine):
+        ds, h = campaign
+        region = _roi(ds, 0.3)
+        before = h.clock.bytes_moved(op="read")
+        result = stats_query(engine, "dpot", region=region)
+        assert result["pushdown"] is True and result["restores"] == 0
+        assert h.clock.bytes_moved(op="read") == before
+        assert result["pruned_chunks"] > 0
+        assert result["granularity"] == "chunk"
+        # Chunk-granular window covers at least the exact window max.
+        lo, hi = region
+        v = ds.mesh.vertices
+        mask = (
+            (v[:, 0] >= lo[0]) & (v[:, 0] <= hi[0])
+            & (v[:, 1] >= lo[1]) & (v[:, 1] <= hi[1])
+        )
+        assert result["stats"]["vmax"] >= float(ds.field[mask].max()) - 1e-12
+
+    def test_stats_fallback_without_summaries(self, campaign):
+        _, h = campaign
+        dataset = BPDataset.open("q", h)
+        try:
+            for key in dataset.keys():
+                dataset.inq(key).attrs.pop("stats", None)
+            meta = dataset.catalog.attrs["variables"]["dpot"]
+            meta.pop("field_stats", None)
+            engine = DecodeEngine(dataset, use_restored_cache=False)
+            result = stats_query(engine, "dpot")
+            assert result["pushdown"] is False and result["restores"] == 1
+        finally:
+            dataset.close()
+
+    def test_blob_query_above_max_restores_nothing(self, campaign, engine):
+        ds, h = campaign
+        before = h.clock.bytes_moved(op="read")
+        result = blob_query(
+            engine, "dpot", threshold=float(ds.field.max()) * 2 + 1
+        )
+        assert result["count"] == 0 and result["restores"] == 0
+        assert result["pruned_chunks"] == CHUNKS
+        assert h.clock.bytes_moved(op="read") == before
+
+    def test_blob_query_survivors_one_focused_restore(self, campaign, engine):
+        ds, _ = campaign
+        threshold = float(np.quantile(ds.field, 0.995))
+        result = blob_query(engine, "dpot", threshold=threshold)
+        assert result["restores"] == 1
+        assert result["count"] >= 1
+        lo, hi = ds.mesh.bounding_box()
+        for blob in result["blobs"]:
+            x, y = blob["center"]
+            assert lo[0] <= x <= hi[0] and lo[1] <= y <= hi[1]
+
+
+# ---------------------------------------------------------------------------
+class TestElasticFeedback:
+    def test_note_plan_heats_fetched_subfiles(self, campaign, engine):
+        planner = QueryPlanner(engine)
+        plan = planner.plan_restore("dpot", tolerance=1e-3)
+        tracker = AccessTracker()
+        noted = planner.note_plan(tracker, plan, now=1.0)
+        assert noted == len(plan.fetch_keys())
+        assert tracker.records
+        assert sum(i.reads for i in tracker.records.values()) == noted
+
+    def test_query_workload_shifts_plan_replacement(self, campaign, engine):
+        _, h = campaign
+        planner = QueryPlanner(engine)
+        cold = PlacementEngine(h).plan_replacement(AccessTracker())
+        assert all(d.weight == 0.0 for d in cold.decisions)
+
+        tracker = AccessTracker()
+        for _ in range(5):
+            plan = planner.plan_restore("dpot", tolerance=1e-3)
+            planner.note_plan(tracker, plan, now=h.clock.elapsed)
+        hot = PlacementEngine(h).plan_replacement(tracker)
+        hot_weights = {d.key: d.weight for d in hot.decisions}
+        touched = {
+            engine.dataset.inq(k).subfile for k in plan.fetch_keys()
+        } - {None, ""}
+        assert touched
+        assert all(hot_weights[s] > 0 for s in touched)
+        assert max(hot_weights.values()) > 0

@@ -43,6 +43,7 @@ DEFAULT_GATED = (
     "BENCH_service.json",
     "BENCH_encode_scaleout.json",
     "BENCH_query.json",
+    "BENCH_durability.json",
 )
 
 #: Leaf-name fragments that are *not* wall-time measurements: simulated

@@ -49,6 +49,17 @@ def _add_backend_arg(sub) -> None:
         "for every command touching one --root; 'memory' does not "
         "persist across commands)",
     )
+    sub.add_argument(
+        "--shards", type=int, default=4,
+        help="sub-stores per tier for --backend sharded (layout "
+        "parameter: reuse the writing value when reopening a root)",
+    )
+    sub.add_argument(
+        "--replicas", type=int, default=None,
+        help="N-way mirroring of sharded/replicated leaves (default: "
+        "no mirroring for sharded, 2 for replicated; reuse the writing "
+        "value when reopening a root)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,10 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
     fsck = sub.add_parser(
         "fsck",
         help="verify a dataset's integrity (catalog products + per-tier "
-        "backend inventory)",
+        "backend inventory), optionally repairing backend damage",
     )
     fsck.add_argument("dataset")
     fsck.add_argument("--root", required=True)
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="self-heal before checking: re-replicate from surviving "
+        "mirrors, roll interrupted-put journals forward or collect "
+        "them, rebuild manifests, garbage-collect orphaned chunks "
+        "(unrecoverable damage is still reported BAD)",
+    )
     _add_backend_arg(fsck)
 
     res = sub.add_parser("restore", help="restore variable(s) to a level")
@@ -290,11 +308,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _hierarchy(
-    root: str, fast_capacity: int = 64 << 20, backend: str = "filesystem"
+    root: str,
+    fast_capacity: int = 64 << 20,
+    backend: str = "filesystem",
+    *,
+    shards: int = 4,
+    replicas: int | None = None,
 ):
     return two_tier_titan(
         Path(root), fast_capacity=fast_capacity, slow_capacity=1 << 40,
-        backend=backend,
+        backend=backend, shards=shards, replicas=replicas,
+    )
+
+
+def _args_hierarchy(args, fast_capacity: int = 64 << 20):
+    return _hierarchy(
+        args.root, fast_capacity, args.backend,
+        shards=args.shards, replicas=args.replicas,
     )
 
 
@@ -317,7 +347,7 @@ def _cmd_encode(args) -> int:
         raise ReproError(
             f"{args.mesh} has no field {args.field!r}; found {sorted(fields)}"
         )
-    hierarchy = _hierarchy(args.root, args.fast_capacity, args.backend)
+    hierarchy = _args_hierarchy(args, args.fast_capacity)
     params = {"tolerance": args.tolerance}
     if args.codec == "zfp":
         params["mode"] = "relative"
@@ -372,7 +402,7 @@ def _cmd_encode(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
     ds = BPDataset.open(args.dataset, hierarchy)
     rows = [
         {
@@ -396,10 +426,16 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_fsck(args) -> int:
-    from repro.io.fsck import check_dataset
+    from repro.io.fsck import check_dataset, repair_backends
 
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
+    repairs = []
+    if args.repair:
+        # Repair below the catalog first: a damaged catalog manifest
+        # would otherwise prevent even opening the dataset.
+        repairs = repair_backends(hierarchy)
     result = check_dataset(BPDataset.open(args.dataset, hierarchy))
+    result.repairs = repairs
     print(result.report())
     return 0 if result.healthy else 2
 
@@ -418,7 +454,7 @@ def _out_path(template: str, var: str, multi: bool) -> str:
 def _cmd_restore(args) -> int:
     from repro.core.decode_engine import DecodeEngine
 
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
     dataset = BPDataset.open(args.dataset, hierarchy)
     variables = [v for v in args.var.split(",") if v]
     io_before = hierarchy.clock.elapsed
@@ -465,7 +501,7 @@ def _cmd_query(args) -> int:
 
     from repro.session import Session
 
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
     region = _parse_cli_region(args.region)
     with Session(hierarchy) as session:
         campaign = session.open(args.dataset)
@@ -506,7 +542,7 @@ def _cmd_serve(args) -> int:
     from repro.obs.logs import JsonlLogger
     from repro.service import CanopusService, TenantRegistry
 
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
     if args.tenants:
         registry = TenantRegistry.from_file(args.tenants)
     else:
@@ -549,7 +585,7 @@ def _cmd_serve(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.obs import trace_session
 
-    hierarchy = _hierarchy(args.root, backend=args.backend)
+    hierarchy = _args_hierarchy(args)
     with trace_session(
         hierarchy, chrome_path=args.out, jsonl_path=args.jsonl
     ) as tracer:

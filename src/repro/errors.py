@@ -31,6 +31,7 @@ __all__ = [
     "ConfigError",
     "StorageError",
     "CapacityError",
+    "TransientFaultError",
     "CanopusError",
     "RefactoringError",
     "RestorationError",
@@ -125,6 +126,17 @@ class CapacityError(StorageError):
     code = "capacity"
 
 
+class TransientFaultError(StorageError):
+    """A retriable fault (network blip, throttle) on a remote backend.
+
+    Raised by fault injectors and remote stores to signal "try again";
+    ``RemoteBackend`` retries with backoff and only surfaces a plain
+    :class:`StorageError` once its retry budget is exhausted.
+    """
+
+    code = "transient"
+
+
 class CanopusError(ReproError):
     """Canopus encode/decode pipeline failure."""
 
@@ -204,6 +216,7 @@ HTTP_STATUS: dict[str, int] = {
     # 5xx — the store or service is at fault
     "storage": 503,
     "capacity": 503,
+    "transient": 503,
     "transport": 503,
     "internal": 500,
     "mesh": 500,

@@ -17,7 +17,13 @@ from repro.io.cache import CacheEntry, RangeCache
 from repro.io.dataset import BPDataset
 from repro.io.engine import EngineStats, RetrievalEngine
 from repro.io.metadata import Catalog, VariableRecord
-from repro.io.fsck import CheckResult, check_backends, check_dataset
+from repro.io.fsck import (
+    CheckResult,
+    check_backends,
+    check_dataset,
+    repair_backends,
+    repair_dataset,
+)
 from repro.io.query import ChunkStats, QueryEngine, attach_stats
 from repro.io.transports import (
     AggregatingTransport,
@@ -45,6 +51,8 @@ __all__ = [
     "CheckResult",
     "check_backends",
     "check_dataset",
+    "repair_backends",
+    "repair_dataset",
     "Transport",
     "PosixTransport",
     "AggregatingTransport",

@@ -67,6 +67,7 @@ class EngineStats:
         "prefetch_useful",
         "batches",
         "coalesced_spans",
+        "failover_retries",
     )
     #: Per-tier counter families exposed as dict-valued attributes.
     _BY_TIER = ("hits_by_tier", "misses_by_tier", "bytes_from_tier")
@@ -211,29 +212,46 @@ class RetrievalEngine:
     def _peek_resilient(
         self, tier_name: str, subfile: str, offset: int, length: int
     ) -> tuple[bytes, str]:
-        """Uncharged range read that survives concurrent re-placement.
+        """Uncharged range read that survives re-placement and failures.
 
-        A migration executing between locate and fetch deletes the
-        source copy after the destination copy is fully registered, so
-        on a miss we re-locate once and retry against the subfile's new
-        tier — restores stay bit-identical while the placement policy
-        moves data underneath them.
+        Two failure shapes are retried, bounded at three attempts:
+
+        * a migration executing between locate and fetch deletes the
+          source copy after the destination copy is fully registered, so
+          on a miss we re-locate and retry against the subfile's new
+          tier;
+        * a replicated backend may fail one read while a replica is
+          dying under it, then serve the next from a surviving mirror
+          (its own failover already retries per-replica; this loop adds
+          one same-tier second chance on top).
+
+        Restores stay bit-identical while placement moves data — or
+        replicas fail — underneath them; only when no tier and no
+        replica can serve the range does the error surface.
         """
-        try:
-            return (
-                self.transports[tier_name].peek_range(subfile, offset, length),
-                tier_name,
-            )
-        except StorageError:
-            current = self.hierarchy.locate(subfile)
-            if current is None or current.name == tier_name:
-                raise
-            return (
-                self.transports[current.name].peek_range(
+        attempts = 3
+        last: StorageError | None = None
+        retried_same_tier = False
+        for attempt in range(attempts):
+            try:
+                data = self.transports[tier_name].peek_range(
                     subfile, offset, length
-                ),
-                current.name,
-            )
+                )
+                if attempt:
+                    self.stats.incr("failover_retries")
+                return data, tier_name
+            except StorageError as exc:
+                last = exc
+                current = self.hierarchy.locate(subfile)
+                if current is not None and current.name != tier_name:
+                    tier_name = current.name
+                    continue
+                if current is None or retried_same_tier:
+                    raise
+                retried_same_tier = True
+        raise last if last is not None else StorageError(
+            f"subfile {subfile!r} unreadable"
+        )
 
     @staticmethod
     def _key(rec: VariableRecord) -> tuple[str, int, int]:

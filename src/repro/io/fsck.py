@@ -21,6 +21,16 @@ through ranged backend reads.
 
 Checks are read-only and per-product, so a partially corrupted dataset
 yields a precise damage report instead of a failed restore.
+
+Beyond reporting, fsck can *repair*: :func:`repair_backends` (the
+engine behind ``repro fsck --repair``) asks every tier's backend to
+self-heal — replicated stores re-replicate from surviving intact copies
+(re-striping damaged shards from their mirrors), sharded stores roll
+interrupted-put journals forward or garbage-collect them, rebuild
+corrupt or missing manifests from contiguous chunk runs, and collect
+orphaned chunks — then resyncs each tier's capacity accounting and
+re-checks. Unrecoverable damage (no surviving replica) stays reported:
+repair never fabricates bytes.
 """
 
 from __future__ import annotations
@@ -35,8 +45,16 @@ from repro.errors import ReproError
 from repro.io.bp import LazyBPReader
 from repro.io.dataset import BPDataset
 from repro.mesh.io import mesh_from_bytes
+from repro.obs.metrics import get_registry
+from repro.storage.hierarchy import StorageHierarchy
 
-__all__ = ["CheckResult", "check_backends", "check_dataset"]
+__all__ = [
+    "CheckResult",
+    "check_backends",
+    "check_dataset",
+    "repair_backends",
+    "repair_dataset",
+]
 
 
 @dataclass
@@ -49,6 +67,8 @@ class CheckResult:
     problems: list[tuple[str, str]] = field(default_factory=list)
     #: Tier-level backend inventory findings, as ``(tier, problem)``.
     backend_problems: list[tuple[str, str]] = field(default_factory=list)
+    #: Repair actions taken before this check, as ``(tier, action)``.
+    repairs: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def healthy(self) -> bool:
@@ -58,6 +78,8 @@ class CheckResult:
         lines = [
             f"dataset {self.dataset!r}: {self.ok}/{self.checked} products ok"
         ]
+        for tier, action in self.repairs:
+            lines.append(f"  FIXED [{tier}] {action}")
         for key, problem in self.problems:
             lines.append(f"  BAD {key}: {problem}")
         for tier, problem in self.backend_problems:
@@ -130,9 +152,49 @@ def check_backends(dataset: BPDataset, result: CheckResult) -> None:
                 )
 
 
+def repair_backends(hierarchy: StorageHierarchy) -> list[tuple[str, str]]:
+    """Ask every tier's backend to self-heal; returns ``(tier, action)``.
+
+    Runs *below* the catalog, so it works even when the dataset cannot
+    be opened (a corrupt catalog manifest is itself repairable). Tiers
+    whose backends acted are resynced so capacity accounting follows the
+    repaired store.
+    """
+    actions: list[tuple[str, str]] = []
+    for tier in hierarchy.tiers:
+        tier_actions = tier.backend.repair()
+        for action in tier_actions:
+            actions.append((tier.name, action))
+        if tier_actions:
+            tier.resync()
+            get_registry().counter(
+                "repair.actions", tier=tier.name
+            ).inc(len(tier_actions))
+    return actions
+
+
+def repair_dataset(dataset: BPDataset) -> CheckResult:
+    """Repair backend damage under an open dataset, then re-verify.
+
+    The returned :class:`CheckResult` records the repair actions taken
+    and the post-repair health; damage with no surviving replica is
+    still reported BAD afterwards.
+    """
+    actions = repair_backends(dataset.hierarchy)
+    result = check_dataset(dataset)
+    result.repairs = actions
+    return result
+
+
 def check_dataset(dataset: BPDataset) -> CheckResult:
-    """Verify every product of an open dataset, then audit backends."""
+    """Audit storage backends, then verify every product of a dataset.
+
+    The backend audit runs *first*: product reads go through the
+    replica-failover path, whose read-repair would silently heal the
+    very damage the audit is meant to report.
+    """
     result = CheckResult(dataset=dataset.name)
+    check_backends(dataset, result)
     for key in dataset.keys():
         rec = dataset.inq(key)
         result.checked += 1
@@ -166,5 +228,4 @@ def check_dataset(dataset: BPDataset) -> CheckResult:
             result.problems.append((key, problem))
         else:
             result.ok += 1
-    check_backends(dataset, result)
     return result

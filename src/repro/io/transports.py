@@ -22,6 +22,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.errors import TransportError
+from repro.storage.backend import (
+    DEFAULT_NETWORK_BANDWIDTH,
+    DEFAULT_NETWORK_LATENCY,
+)
 from repro.storage.tier import StorageTier
 
 __all__ = [
@@ -33,9 +37,11 @@ __all__ = [
 ]
 
 # Defaults for the interconnect cost model; per-transport values are
-# configurable via constructor kwargs and the XML config.
-_NETWORK_BANDWIDTH = 5 * (1 << 30)  # bytes/s, Gemini/Aries-class per process
-_NETWORK_LATENCY = 2e-6
+# configurable via constructor kwargs and the XML config. Shared with
+# RemoteBackend so "the network" costs the same whether a byte crosses
+# it inside a transport hop or an S3-class backend hop.
+_NETWORK_BANDWIDTH = DEFAULT_NETWORK_BANDWIDTH
+_NETWORK_LATENCY = DEFAULT_NETWORK_LATENCY
 
 
 class Transport(ABC):

@@ -22,8 +22,12 @@ hierarchy, per-tier transports, and Canopus pipeline parameters::
     </canopus-config>
 
 Each tier's bytes live in a pluggable object-store backend
-(``filesystem`` default, ``memory``, or ``sharded``; set a store-wide
-default on ``<storage backend=...>`` and override per ``<tier>``).
+(``filesystem`` default, ``memory``, ``sharded``, ``remote``, or
+``replicated``; set a store-wide default on ``<storage backend=...>``
+and override per ``<tier>``). ``replicas="2"`` on ``<storage>`` or a
+``<tier>`` mirrors sharded/replicated leaves N ways;
+``network_bandwidth``/``network_latency`` on a ``remote`` tier
+parameterize its simulated S3 hop (same defaults as transports).
 ``<placement policy="cost"/>`` switches datasets from the fastest-first
 capacity walk to the cost-based placement engine.
 """
@@ -109,6 +113,7 @@ def parse_config(
     default_backend = storage_el.get("backend", "filesystem")
     default_shards = int(storage_el.get("shards", "4"))
     default_chunk = parse_size(storage_el.get("chunk", "256KiB"))
+    default_replicas = storage_el.get("replicas")
 
     tiers: list[StorageTier] = []
     for tier_el in storage_el.findall("tier"):
@@ -118,12 +123,20 @@ def parse_config(
         if not (name and device and capacity):
             raise ConfigError("<tier> needs name, device, and capacity")
         backend_kind = tier_el.get("backend", default_backend)
+        replicas = tier_el.get("replicas", default_replicas)
+        net_bw = tier_el.get("network_bandwidth")
+        net_lat = tier_el.get("network_latency")
         try:
             backend = make_backend(
                 backend_kind,
                 storage_root / name,
                 shards=int(tier_el.get("shards", default_shards)),
                 chunk_size=parse_size(tier_el.get("chunk", default_chunk)),
+                replicas=int(replicas) if replicas is not None else None,
+                network_bandwidth=(
+                    parse_size(net_bw) if net_bw is not None else None
+                ),
+                network_latency=float(net_lat) if net_lat is not None else None,
             )
         except ReproError as exc:
             raise ConfigError(f"tier {name!r}: {exc}") from exc

@@ -505,6 +505,26 @@ class DataNode:
                 "workers": self.executor_workers,
                 "queued_slots_free": getattr(self._slots, "_value", None),
             },
+            "storage": {
+                # Degraded-mode visibility: a tier goes degraded when its
+                # backend routes a read or write around a failed replica
+                # and stays so until a repair sweep completes. Reads keep
+                # serving from surviving replicas (503 only when none
+                # survives); operators watch this plus the process-wide
+                # storage.degraded / repair.* counters.
+                "degraded_tiers": [
+                    t.name for t in self.hierarchy.tiers if t.degraded
+                ],
+                "replication": {
+                    t.name: t.replication_factor
+                    for t in self.hierarchy.tiers
+                },
+                "adoption_problems": {
+                    t.name: len(t.adoption_problems)
+                    for t in self.hierarchy.tiers
+                    if t.adoption_problems
+                },
+            },
             "sim_clock_elapsed": self.hierarchy.clock.elapsed,
         }
 

@@ -1,11 +1,14 @@
 """Simulated tiered storage substrate (see DESIGN.md substitutions).
 
 Real bytes are stored in pluggable object-store backends (filesystem,
-in-memory, sharded); transfer times are modeled from per-device
-latency/bandwidth so the multi-tier behaviour the paper measured on
-Titan (tmpfs + Lustre) can be reproduced on a laptop. Placement is
-cost-based (:mod:`repro.storage.placement`) with watermark-driven and
-elastic re-placement policies in :mod:`repro.storage.policy`.
+in-memory, sharded, remote, replicated); transfer times are modeled from
+per-device latency/bandwidth so the multi-tier behaviour the paper
+measured on Titan (tmpfs + Lustre) can be reproduced on a laptop.
+Placement is cost-based (:mod:`repro.storage.placement`) with
+watermark-driven and elastic re-placement policies in
+:mod:`repro.storage.policy`; durability (replication, write-ahead
+journalling, fault injection, repair) lives in
+:mod:`repro.storage.backend` and :mod:`repro.storage.faults`.
 """
 
 from repro.storage.backend import (
@@ -13,10 +16,18 @@ from repro.storage.backend import (
     FilesystemBackend,
     MemoryBackend,
     ObjectStore,
+    RemoteBackend,
+    ReplicatedBackend,
     ShardedBackend,
     make_backend,
 )
 from repro.storage.device import DEVICE_PRESETS, DeviceModel, device_preset
+from repro.storage.faults import (
+    FAULT_MODES,
+    FaultInjector,
+    inject_fault,
+    kill_replica,
+)
 from repro.storage.hierarchy import StorageHierarchy, two_tier_titan
 from repro.storage.placement import (
     PlacementDecision,
@@ -37,8 +48,14 @@ __all__ = [
     "FilesystemBackend",
     "MemoryBackend",
     "ShardedBackend",
+    "ReplicatedBackend",
+    "RemoteBackend",
     "make_backend",
     "BACKEND_KINDS",
+    "FAULT_MODES",
+    "FaultInjector",
+    "inject_fault",
+    "kill_replica",
     "StorageTier",
     "StorageHierarchy",
     "two_tier_titan",

@@ -38,6 +38,7 @@ class StorageHierarchy:
         self.clock = tiers[0].clock
         for t in tiers[1:]:
             t.clock = self.clock
+            t.backend.bind_clock(self.clock)
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[StorageTier]:
@@ -162,21 +163,27 @@ def two_tier_titan(
     backend: str = "filesystem",
     shards: int = 4,
     chunk_size: int = 256 * 1024,
+    replicas: int | None = None,
 ) -> StorageHierarchy:
     """The paper's testbed: DRAM tmpfs over Lustre (Titan, §IV-B).
 
     ``backend`` selects the object store holding each tier's bytes —
     ``"filesystem"`` (default, one file per object under
     ``root/<tier>``), ``"memory"`` (tmpfs-class, contents die with the
-    hierarchy), or ``"sharded"`` (chunks striped over ``shards``
-    sub-stores under ``root/<tier>/shard<i>``).
+    hierarchy), ``"sharded"`` (chunks striped over ``shards``
+    sub-stores under ``root/<tier>/shard<i>``), ``"remote"`` (S3-class
+    hop with simulated network charges), or ``"replicated"`` (N-way
+    mirrors under ``root/<tier>/replica<j>``). ``replicas`` mirrors the
+    sharded/replicated leaves N ways (see
+    :func:`~repro.storage.backend.make_backend`).
     """
     root = Path(root)
     clock = clock if clock is not None else SimClock()
 
     def _backend(tier_name: str):
         return make_backend(
-            backend, root / tier_name, shards=shards, chunk_size=chunk_size
+            backend, root / tier_name, shards=shards, chunk_size=chunk_size,
+            replicas=replicas,
         )
 
     return StorageHierarchy(

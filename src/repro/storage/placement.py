@@ -66,12 +66,20 @@ def _counter(name: str, n: int = 1, **labels) -> None:
 
 @dataclass(frozen=True)
 class ProductSpec:
-    """A placeable product: size, read weight, optional current home."""
+    """A placeable product: size, read weight, optional current home.
+
+    ``replicas`` is the durability the product *wants* — how many
+    independent copies of its bytes should exist. Tiers advertise what
+    they provide via :attr:`StorageTier.replication_factor`; the planner
+    charges a redundancy-risk penalty for placing a product on a tier
+    that under-replicates it (see ``durability_weight``).
+    """
 
     key: str
     nbytes: int
     weight: float = 1.0
     current_tier: str | None = None
+    replicas: int = 1
 
 
 @dataclass
@@ -195,6 +203,7 @@ class PlacementEngine:
         products: list[ProductSpec],
         *,
         capacities: dict[str, int] | None = None,
+        durability_weight: float = 0.0,
     ) -> PlacementPlan:
         """Assign every product to a tier under capacity budgets.
 
@@ -203,6 +212,15 @@ class PlacementEngine:
         already on it (they are being re-placed, so their bytes are up
         for grabs). Raises :class:`CapacityError` when a product fits on
         no tier at all.
+
+        ``durability_weight`` trades redundancy against tier budget: a
+        product asking for N replicas pays, on a tier whose backend keeps
+        fewer copies, an extra ``durability_weight × shortfall`` times
+        the slowest tier's read time for its bytes — the expected cost of
+        re-reading the product from cold storage after a copy is lost.
+        At 0 (default) durability plays no role; large values pin
+        replica-hungry products onto replicated tiers even when they are
+        slower.
         """
         remaining: dict[str, int] = (
             dict(capacities)
@@ -231,6 +249,18 @@ class PlacementEngine:
                     )
                     cost += move
                     note = f"(+{move * 1e3:.3f} ms migration)"
+                shortfall = max(0, p.replicas - tier.replication_factor)
+                if shortfall and durability_weight > 0:
+                    risk = (
+                        durability_weight
+                        * shortfall
+                        * self.hierarchy.slowest.device.read_seconds(p.nbytes)
+                    )
+                    cost += risk
+                    note += (
+                        f" [under-replicated {tier.replication_factor}"
+                        f"<{p.replicas}: +{risk * 1e3:.3f} ms risk]"
+                    )
                 if remaining.get(tier.name, 0) < p.nbytes:
                     considered.append(
                         (tier.name, cost, note + " [skipped: insufficient capacity]")
@@ -287,6 +317,8 @@ class PlacementEngine:
         *,
         headroom: float = 1.0,
         min_weight: float = 0.0,
+        replicas: int = 1,
+        durability_weight: float = 0.0,
     ) -> PlacementPlan:
         """Re-place everything currently stored, weighted by live reads.
 
@@ -296,6 +328,12 @@ class PlacementEngine:
         and plans. The migration penalty keeps cold data in place unless
         hot data genuinely needs its bytes — the plan is a no-op when
         access patterns already match placement.
+
+        ``replicas``/``durability_weight`` make redundancy a cost
+        dimension: with a non-zero weight the plan trades replica
+        shortfall against tier budget, steering products that want N
+        copies onto tiers whose backends actually mirror N ways (see
+        :meth:`plan`).
         """
         products = []
         for tier in self.hierarchy.tiers:
@@ -308,10 +346,13 @@ class PlacementEngine:
                         nbytes=tier.file_size(relpath),
                         weight=weight,
                         current_tier=tier.name,
+                        replicas=replicas,
                     )
                 )
         budgets = {
             t.name: int(headroom * t.capacity_bytes)
             for t in self.hierarchy.tiers
         }
-        return self.plan(products, capacities=budgets)
+        return self.plan(
+            products, capacities=budgets, durability_weight=durability_weight
+        )

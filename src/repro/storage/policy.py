@@ -207,7 +207,13 @@ class TierManager:
         return self._execute(self.plan_promotions())
 
     # ------------------------------------------------------------------
-    def replan(self, *, headroom: float | None = None) -> list[tuple[str, str, str]]:
+    def replan(
+        self,
+        *,
+        headroom: float | None = None,
+        replicas: int = 1,
+        durability_weight: float = 0.0,
+    ) -> list[tuple[str, str, str]]:
         """Cost-based elastic re-tiering of the whole inventory.
 
         Asks the :class:`PlacementEngine` for a globally cost-optimal
@@ -216,10 +222,15 @@ class TierManager:
         capacity is freed before it is claimed). Returns the migrations
         performed. A no-op when placement already matches demand — the
         migration penalty in the cost model keeps cold data where it is.
+        ``replicas``/``durability_weight`` pass through to
+        :meth:`PlacementEngine.plan_replacement`, letting re-tiering
+        trade redundancy against tier budget.
         """
         plan = self.engine.plan_replacement(
             self.tracker,
             headroom=self.high_water if headroom is None else headroom,
+            replicas=replicas,
+            durability_weight=durability_weight,
         )
         return self._execute(plan, demote_first=True)
 

@@ -2,7 +2,7 @@
 
 Byte movement is delegated to a pluggable
 :class:`~repro.storage.backend.ObjectStore` backend (filesystem,
-in-memory, or sharded) — the tier itself owns only the
+in-memory, sharded, remote, or replicated) — the tier itself owns only the
 :class:`~repro.storage.device.DeviceModel`, the capacity bookkeeping,
 and the simulated-clock charging. Real bytes still land in the backend
 (so the end-to-end pipeline is honest), while transfer *times* are
@@ -76,6 +76,7 @@ class StorageTier:
             backend, "root", None
         )
         self.clock = clock if clock is not None else SimClock()
+        self.backend.bind_clock(self.clock)
         self._used = 0
         self._files: dict[str, int] = {}
         # A tier's store persists across handles/processes (like a real
@@ -88,11 +89,50 @@ class StorageTier:
                 f"tier {name!r}: existing content ({self._used} B) exceeds "
                 f"capacity {self.capacity_bytes}"
             )
+        #: Cheap structural problems found while adopting existing
+        #: content (size-only ``verify(deep=False)``); recorded, not
+        #: raised — fsck decides what to do about them.
+        self.adoption_problems: list[str] = (
+            self.backend.verify(deep=False) if self._files else []
+        )
+        if self.adoption_problems:
+            _counter(
+                "storage.adoption.problems", len(self.adoption_problems),
+                tier=self.name,
+            )
 
     # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
         return self._used
+
+    @property
+    def replication_factor(self) -> int:
+        """Independent copies the backend keeps of each byte (>= 1).
+
+        Placement reads this as a durability dimension: a product asking
+        for N replicas is "safe" on a tier whose backend already mirrors
+        N ways, and costs a redundancy-risk penalty elsewhere.
+        """
+        return self.backend.replication_factor
+
+    @property
+    def degraded(self) -> bool:
+        """True while the backend is routing around a failed replica."""
+        return self.backend.degraded
+
+    def resync(self) -> None:
+        """Re-adopt the backend inventory (after an external repair).
+
+        Repair can resurrect objects, rebuild manifests, or
+        garbage-collect partial writes; the tier's capacity accounting
+        and file table follow the store, not the other way around.
+        """
+        self._files = {}
+        self._used = 0
+        for key, size in self.backend.list_objects():
+            self._files[key] = size
+            self._used += size
 
     @property
     def free_bytes(self) -> int:
@@ -226,7 +266,8 @@ class StorageTier:
                 f"tier {self.name!r}: range [{offset}, {offset + length}) "
                 f"outside file of {size} bytes"
             )
-        data = self.backend.get_range(relpath, offset, length)
+        with self.backend.uncharged():
+            data = self.backend.get_range(relpath, offset, length)
         _counter(
             "storage.backend.get_bytes", length,
             backend=self.backend.kind, tier=self.name,
@@ -248,7 +289,8 @@ class StorageTier:
                     f"tier {self.name!r}: range [{offset}, {offset + length})"
                     f" outside file of {size} bytes"
                 )
-        blobs = self.backend.get_many(requests)
+        with self.backend.uncharged():
+            blobs = self.backend.get_many(requests)
         _counter(
             "storage.backend.get_bytes", sum(len(b) for b in blobs),
             backend=self.backend.kind, tier=self.name,

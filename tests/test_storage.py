@@ -1,7 +1,8 @@
 """Tests for the simulated storage hierarchy.
 
 The whole module runs against any object-store backend: set
-``REPRO_BACKEND=filesystem|memory|sharded`` (the CI tier matrix) to
+``REPRO_BACKEND=filesystem|memory|sharded|remote|replicated`` (the CI
+tier matrix) to
 re-run it over a different byte store. Filesystem-only semantics
 (on-disk persistence across handles, path escapes) are skipped where a
 backend cannot express them.
@@ -24,12 +25,17 @@ from repro.storage import (
     two_tier_titan,
 )
 
-#: Backend kind under test; the CI tier matrix sweeps all three.
+#: Backend kind under test; the CI tier matrix sweeps all five.
 BACKEND = os.environ.get("REPRO_BACKEND", "filesystem")
 
 persistent_only = pytest.mark.skipif(
     BACKEND == "memory",
     reason="memory backend state dies with the handle (by design)",
+)
+
+device_clock_only = pytest.mark.skipif(
+    BACKEND == "remote",
+    reason="remote backend charges network time on top of the device model",
 )
 
 
@@ -157,6 +163,7 @@ class TestStorageTier:
         with pytest.raises(StorageError):
             tier.write("../escape.bin", b"x")
 
+    @device_clock_only
     def test_clock_charged_by_device_model(self, tmp_path):
         clock = SimClock()
         tier = _tier("t", "lustre", 10**9, tmp_path, clock)
@@ -232,6 +239,7 @@ class TestHierarchy:
         with pytest.raises(StorageError):
             hierarchy.read("ghost")
 
+    @device_clock_only
     def test_shared_clock(self, hierarchy):
         hierarchy.place("a.bin", b"x" * 100)
         hierarchy.place("b.bin", b"x" * 2000)  # lands on mid

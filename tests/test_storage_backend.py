@@ -1,6 +1,7 @@
 """Tests for the pluggable object-store backends (repro.storage.backend)."""
 
 import json
+import threading
 
 import pytest
 
@@ -10,6 +11,8 @@ from repro.storage import (
     FilesystemBackend,
     MemoryBackend,
     ObjectStore,
+    RemoteBackend,
+    ReplicatedBackend,
     ShardedBackend,
     StorageTier,
     make_backend,
@@ -21,9 +24,15 @@ def _make(kind, tmp_path):
         return FilesystemBackend(tmp_path / "fs")
     if kind == "memory":
         return MemoryBackend()
-    return ShardedBackend(
-        [MemoryBackend() for _ in range(3)], chunk_size=16
-    )
+    if kind == "sharded":
+        return ShardedBackend(
+            [MemoryBackend() for _ in range(3)], chunk_size=16
+        )
+    if kind == "remote":
+        return RemoteBackend(MemoryBackend())
+    if kind == "replicated":
+        return ReplicatedBackend([MemoryBackend() for _ in range(2)])
+    raise AssertionError(f"unknown backend kind {kind!r}")
 
 
 @pytest.fixture(params=BACKEND_KINDS)
@@ -129,6 +138,24 @@ class TestMemoryBackend:
         be.put("a", buf)
         buf[0] = 0
         assert be.get("a") == b"mutable"
+
+    def test_get_range_past_end_raises_not_truncates(self):
+        # Pins the contract: an out-of-bounds range is a StorageError,
+        # never a silent Python-slice short read.
+        be = MemoryBackend()
+        be.put("a", b"0123456789")
+        with pytest.raises(StorageError, match="range"):
+            be.get_range("a", 8, 5)
+        with pytest.raises(StorageError, match="range"):
+            be.get_range("a", 10, 1)
+
+    def test_get_range_negative_offset_and_length_raise(self):
+        be = MemoryBackend()
+        be.put("a", b"0123456789")
+        with pytest.raises(StorageError):
+            be.get_range("a", -2, 3)
+        with pytest.raises(StorageError):
+            be.get_range("a", 3, -2)
 
 
 class _CountingStore(MemoryBackend):
@@ -264,6 +291,105 @@ class TestMakeBackend:
             make_backend("sharded")
         with pytest.raises(StorageError):
             make_backend("sharded", tmp_path, shards=0)
+        with pytest.raises(StorageError):
+            make_backend("replicated", tmp_path, replicas=0)
+        with pytest.raises(StorageError):
+            make_backend("remote")
+        with pytest.raises(StorageError):
+            make_backend("replicated")
+
+    def test_remote_kind(self, tmp_path):
+        be = make_backend("remote", tmp_path, network_latency=1e-3)
+        assert isinstance(be, RemoteBackend)
+        assert isinstance(be.inner, FilesystemBackend)
+        assert be.network_latency == 1e-3
+        be.put("a", b"x")
+        assert be.get("a") == b"x"
+
+    def test_replicated_kind_defaults_two_replicas(self, tmp_path):
+        be = make_backend("replicated", tmp_path)
+        assert isinstance(be, ReplicatedBackend)
+        assert be.replication_factor == 2
+        be.put("a", b"x")
+        assert (tmp_path / "replica0" / "a").is_file()
+        assert (tmp_path / "replica1" / "a").is_file()
+
+    def test_sharded_with_replicas_mirrors_every_shard(self, tmp_path):
+        be = make_backend(
+            "sharded", tmp_path, shards=2, replicas=2, chunk_size=8
+        )
+        assert isinstance(be, ShardedBackend)
+        assert all(
+            isinstance(s, ReplicatedBackend) for s in be.substores
+        )
+        assert be.replication_factor == 2
+        be.put("obj", b"q" * 20)
+        assert be.get("obj") == b"q" * 20
+        assert (tmp_path / "shard0" / "replica0").is_dir()
+        assert (tmp_path / "shard1" / "replica1").is_dir()
+
+
+class TestConcurrencyContract:
+    """Thread-safety contract shared by every backend kind.
+
+    Concurrent ``put_many`` rewrites of the *same* keys (same payloads,
+    as the retrieval tier does when re-materialising hot products) must
+    never expose torn objects to concurrent ``get_many`` readers, and
+    concurrent writers on *distinct* keys must never interfere.
+    """
+
+    @pytest.fixture(params=BACKEND_KINDS)
+    def backend(self, request, tmp_path):
+        return _make(request.param, tmp_path)
+
+    def _run(self, workers):
+        errors = []
+
+        def guard(fn):
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=guard, args=(fn,)) for fn in workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_same_key_rewrites_under_concurrent_readers(self, backend):
+        payloads = {f"k{i}": bytes([65 + i]) * 37 for i in range(4)}
+        backend.put_many(payloads)
+        requests = [(k, 5, 17) for k in sorted(payloads)]
+        expected = [payloads[k][5:22] for k in sorted(payloads)]
+
+        def writer():
+            for _ in range(20):
+                backend.put_many(payloads)
+
+        def reader():
+            for _ in range(40):
+                assert backend.get_many(requests) == expected
+
+        self._run([writer] * 3 + [reader] * 3)
+        for key, blob in payloads.items():
+            assert backend.get(key) == blob
+        assert backend.verify() == []
+
+    def test_distinct_key_writers_do_not_interfere(self, backend):
+        def writer(i):
+            def go():
+                for j in range(15):
+                    backend.put(f"w{i}/obj", bytes([i]) * (29 + j))
+            return go
+
+        self._run([writer(i) for i in range(4)])
+        for i in range(4):
+            assert backend.get(f"w{i}/obj") == bytes([i]) * 43
+        assert backend.verify() == []
 
 
 class TestTierOverBackends:
